@@ -1,0 +1,61 @@
+//! B+Tree micro-benchmarks: bulk build, incremental insert, point
+//! lookup, range scan — the data-structure substrate behind every
+//! indexed query path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_index::{BPlusTree, HashIndex};
+use std::hint::black_box;
+
+fn sorted_pairs(n: usize) -> Vec<(i64, u32)> {
+    (0..n).map(|i| ((i / 4) as i64, i as u32)).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree/build");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let pairs = sorted_pairs(n);
+        group.bench_with_input(BenchmarkId::new("bulk", n), &pairs, |b, pairs| {
+            b.iter(|| BPlusTree::bulk_build(64, black_box(pairs)))
+        });
+    }
+    let pairs = sorted_pairs(100_000);
+    group.bench_function("incremental_100k", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new(64);
+            for (k, r) in &pairs {
+                t.insert(*k, *r);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let pairs = sorted_pairs(1_000_000);
+    let tree = BPlusTree::bulk_build(64, &pairs);
+    let hash = HashIndex::build(pairs.iter().copied());
+    let mut group = c.benchmark_group("btree/probe");
+    group.bench_function("btree_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 250_000;
+            tree.get_first(black_box(&k))
+        })
+    });
+    group.bench_function("hash_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 250_000;
+            hash.get_first(black_box(&k))
+        })
+    });
+    group.bench_function("range_1000_keys", |b| {
+        b.iter(|| tree.range(black_box(&1_000), &2_000).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_probe);
+criterion_main!(benches);

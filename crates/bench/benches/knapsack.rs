@@ -1,0 +1,45 @@
+//! Knapsack micro-benchmarks: exact branch-and-bound (Algorithm 3) vs
+//! the Graham greedy baseline, at the instance sizes the interleaver
+//! actually produces (Figs. 10–11) and well beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_interleave::{graham_greedy, merged_upper_bound, solve_knapsack};
+use std::hint::black_box;
+
+fn instance(n: usize) -> (Vec<u64>, Vec<f64>) {
+    // Deterministic pseudo-random durations (ms) and gains.
+    let sizes: Vec<u64> = (0..n).map(|i| 2_000 + (i as u64 * 7_919) % 28_000).collect();
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 31) % 97) as f64 / 10.0).collect();
+    (sizes, values)
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    for n in [8usize, 24, 64, 192] {
+        let (sizes, values) = instance(n);
+        let capacity: u64 = sizes.iter().sum::<u64>() / 3;
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &n, |b, _| {
+            b.iter(|| solve_knapsack(black_box(capacity), &sizes, &values))
+        });
+        group.bench_with_input(BenchmarkId::new("graham_greedy", n), &n, |b, _| {
+            let slots = [capacity / 2, capacity / 3, capacity / 6];
+            b.iter(|| graham_greedy(black_box(&slots), &sizes, &values))
+        });
+    }
+    group.finish();
+}
+
+fn bench_upper_bound(c: &mut Criterion) {
+    let (sizes, values) = instance(24);
+    let slots: Vec<u64> = (0..8u64).map(|i| 6_000 + i * 4_000).collect();
+    c.bench_function("knapsack/merged_upper_bound_fig11", |b| {
+        b.iter(|| merged_upper_bound(black_box(&slots), &sizes, &values))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_knapsack, bench_upper_bound
+}
+criterion_main!(benches);

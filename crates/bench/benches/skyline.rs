@@ -1,0 +1,51 @@
+//! Skyline-scheduler benchmarks: planning cost per application and the
+//! skyline-width ablation (DESIGN.md §6: quality vs planning cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_common::SimRng;
+use flowtune_dataflow::App;
+use flowtune_sched::{OnlineLoadBalanceScheduler, SchedulerConfig, SkylineScheduler};
+use std::hint::black_box;
+
+fn bench_per_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline/schedule_100_ops");
+    group.sample_size(10);
+    for app in App::ALL {
+        let dag = app.generate(100, &[], &mut SimRng::seed_from_u64(1));
+        let scheduler = SkylineScheduler::new(SchedulerConfig {
+            max_skyline: 8,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &dag, |b, dag| {
+            b.iter(|| scheduler.schedule(black_box(dag)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_width_ablation(c: &mut Criterion) {
+    let dag = App::Montage.generate(100, &[], &mut SimRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("skyline/width_ablation");
+    group.sample_size(10);
+    for width in [2usize, 4, 8, 16, 32] {
+        let scheduler = SkylineScheduler::new(SchedulerConfig {
+            max_skyline: width,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| scheduler.schedule(black_box(&dag)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_lb(c: &mut Criterion) {
+    let dag = App::Cybershake.generate(100, &[], &mut SimRng::seed_from_u64(3));
+    let scheduler = OnlineLoadBalanceScheduler::default();
+    c.bench_function("skyline/online_lb_baseline_100_ops", |b| {
+        b.iter(|| scheduler.schedule(black_box(&dag)))
+    });
+}
+
+criterion_group!(benches, bench_per_app, bench_width_ablation, bench_online_lb);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Substrate micro-benchmarks: the LRU cache and the synthetic
+//! `lineitem` generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_storage::{LineitemGenerator, LineitemParams, LruCache};
+use std::hint::black_box;
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/lru");
+    group.bench_function("insert_evict_1000", |b| {
+        b.iter(|| {
+            let mut cache: LruCache<u32> = LruCache::new(100 * 1024);
+            for i in 0..1000u32 {
+                cache.insert(black_box(i), 1024);
+            }
+            cache.used_bytes()
+        })
+    });
+    group.bench_function("hit_heavy_workload", |b| {
+        let mut cache: LruCache<u32> = LruCache::new(1024 * 1024);
+        for i in 0..512u32 {
+            cache.insert(i, 1024);
+        }
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 7) % 512;
+            cache.get(black_box(&k))
+        })
+    });
+    group.finish();
+}
+
+fn bench_lineitem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineitem/generate");
+    group.sample_size(10);
+    for rows in [10_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("orderkey_only", rows),
+            &rows,
+            |b, &rows| {
+                b.iter(|| {
+                    let g = LineitemGenerator::new(LineitemParams {
+                        rows,
+                        seed: 7,
+                        lines_per_order: 4,
+                    });
+                    g.generate_columns(black_box(&["orderkey"])).rows()
+                })
+            },
+        );
+    }
+    group.bench_function("full_16_columns_10k", |b| {
+        b.iter(|| {
+            let g = LineitemGenerator::new(LineitemParams {
+                rows: 10_000,
+                seed: 7,
+                lines_per_order: 4,
+            });
+            g.generate().rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_lineitem);
+criterion_main!(benches);

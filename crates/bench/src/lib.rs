@@ -1,0 +1,56 @@
+//! # flowtune-bench
+//!
+//! Experiment harness: one `exp_*` binary per table/figure of the
+//! paper's evaluation (§6) plus criterion micro-benchmarks. Run them
+//! with `cargo run --release -p flowtune-bench --bin exp_<name>`.
+//!
+//! Every binary prints the paper's reported values next to the measured
+//! ones; `EXPERIMENTS.md` at the repository root records a full
+//! comparison.
+//!
+//! Environment knobs:
+//!
+//! * `FLOWTUNE_QUANTA` — override the simulated horizon for the §6.5
+//!   workload experiments (default 720, the paper's value). Useful for
+//!   quick smoke runs.
+//! * `FLOWTUNE_TABLE6_ROWS` — row count for the measured speedups of
+//!   Table 6 (default 2,000,000).
+
+/// Read the horizon override (quanta).
+pub fn horizon_quanta() -> u64 {
+    std::env::var("FLOWTUNE_QUANTA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(720)
+}
+
+/// Read the Table 6 row-count override.
+pub fn table6_rows() -> usize {
+    std::env::var("FLOWTUNE_TABLE6_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+/// Standard header each experiment prints.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("=== {experiment} ===");
+    println!("reproduces: {paper_ref}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Note: assumes the test environment doesn't set the overrides.
+        if std::env::var("FLOWTUNE_QUANTA").is_err() {
+            assert_eq!(horizon_quanta(), 720);
+        }
+        if std::env::var("FLOWTUNE_TABLE6_ROWS").is_err() {
+            assert_eq!(table6_rows(), 2_000_000);
+        }
+    }
+}

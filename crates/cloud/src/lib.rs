@@ -1,0 +1,28 @@
+//! # flowtune-cloud
+//!
+//! The cloud execution simulator (§6.1). Executes an interleaved
+//! schedule against *actual* operator runtimes and data sizes (possibly
+//! different from the estimates the schedule was planned with) and
+//! reports what really happened:
+//!
+//! * dataflow operators run in plan order per container, waiting for
+//!   their inputs (network transfers, unless cached on the container's
+//!   local disk) and their dependencies;
+//! * build-index operators have priority −1: they backfill idle time and
+//!   are **stopped** when a dataflow operator arrives at the container
+//!   or the container's lease expires (Table 7 counts these kills);
+//! * containers are charged per whole leased quantum; an idle container
+//!   is deleted when its quantum expires, losing its local cache;
+//! * operators reading partitions with a built & beneficial index run
+//!   faster (the dataflow's sampled speedup) but first read the index
+//!   from the storage service.
+//!
+//! [`perturb`] injects the runtime/data-size estimation errors of §6.2.
+
+pub mod perturb;
+pub mod report;
+pub mod sim;
+
+pub use perturb::perturb_dag;
+pub use report::ExecutionReport;
+pub use sim::{IndexAvailability, Simulator};

@@ -1,0 +1,76 @@
+//! Execution reports produced by the simulator.
+
+use flowtune_common::{Money, SimDuration, SimTime};
+use flowtune_sched::BuildRef;
+
+/// A build operator that finished inside the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedBuild {
+    /// What was built.
+    pub build: BuildRef,
+    /// When (schedule-relative) the build finished.
+    pub finished_at: SimTime,
+}
+
+/// What actually happened when a schedule was executed.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Actual execution time of the dataflow (first op start to last op
+    /// finish).
+    pub makespan: SimDuration,
+    /// Whole quanta leased across containers (actual).
+    pub leased_quanta: u64,
+    /// Compute cost (leased quanta × VM price).
+    pub compute_cost: Money,
+    /// Dataflow operators executed.
+    pub dataflow_ops: usize,
+    /// Build operators that ran to completion.
+    pub completed_builds: Vec<CompletedBuild>,
+    /// Build operators stopped by preemption or lease expiry (requeued
+    /// by the service; Table 7's "killed" count).
+    pub killed_builds: Vec<BuildRef>,
+    /// Actual idle time left on leased containers after execution.
+    pub fragmentation: SimDuration,
+    /// Container-local cache hits while reading input partitions.
+    pub cache_hits: u64,
+    /// Cache misses (reads that went to the storage service).
+    pub cache_misses: u64,
+    /// Bytes downloaded from the storage service (inputs + indexes).
+    pub bytes_from_storage: u64,
+    /// Partition reads served through a built index (accelerated).
+    pub accelerated_reads: u64,
+    /// Partition reads served by scanning the raw partition.
+    pub plain_reads: u64,
+}
+
+impl ExecutionReport {
+    /// Total build operators attempted (completed + killed).
+    pub fn build_ops_attempted(&self) -> usize {
+        self.completed_builds.len() + self.killed_builds.len()
+    }
+
+    /// Total operators executed (dataflow + attempted builds) — the unit
+    /// Table 7 counts.
+    pub fn total_ops(&self) -> usize {
+        self.dataflow_ops + self.build_ops_attempted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_common::IndexId;
+
+    #[test]
+    fn counters_add_up() {
+        let mut r = ExecutionReport::default();
+        r.dataflow_ops = 100;
+        r.completed_builds.push(CompletedBuild {
+            build: BuildRef { index: IndexId(0), part: 0 },
+            finished_at: SimTime::from_secs(30),
+        });
+        r.killed_builds.push(BuildRef { index: IndexId(1), part: 2 });
+        assert_eq!(r.build_ops_attempted(), 2);
+        assert_eq!(r.total_ops(), 102);
+    }
+}

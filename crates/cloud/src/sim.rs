@@ -1,0 +1,551 @@
+//! Schedule execution.
+//!
+//! The simulator replays a (possibly interleaved) schedule against the
+//! *actual* DAG. Dataflow operators keep their planned container and
+//! per-container order but their times are recomputed from actual
+//! runtimes, dependency completion and input transfers. Build operators
+//! backfill whatever idle time really materialises and are killed by the
+//! next dataflow operator or by lease expiry — they can never delay the
+//! dataflow (priority −1).
+
+use std::collections::HashMap;
+
+use flowtune_common::{
+    pricing, CloudConfig, ContainerId, IndexId, PartitionId, SimDuration, SimTime,
+};
+use flowtune_dataflow::{Dag, FileDatabase, IndexUse};
+use flowtune_sched::{Assignment, BuildRef, Schedule};
+use flowtune_storage::LruCache;
+
+use crate::report::{CompletedBuild, ExecutionReport};
+
+/// Which index partitions exist (and their sizes) at execution time.
+#[derive(Debug, Clone, Default)]
+pub struct IndexAvailability {
+    built: HashMap<(IndexId, u32), u64>,
+}
+
+impl IndexAvailability {
+    /// Nothing built.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that partition `part` of `index` is built with the given
+    /// size.
+    pub fn add(&mut self, index: IndexId, part: u32, bytes: u64) {
+        self.built.insert((index, part), bytes);
+    }
+
+    /// Size of a built index partition, `None` when not built.
+    pub fn bytes(&self, index: IndexId, part: u32) -> Option<u64> {
+        self.built.get(&(index, part)).copied()
+    }
+
+    /// True when the index partition is built.
+    pub fn is_built(&self, index: IndexId, part: u32) -> bool {
+        self.built.contains_key(&(index, part))
+    }
+
+    /// Number of built index partitions.
+    pub fn len(&self) -> usize {
+        self.built.len()
+    }
+
+    /// True when nothing is built.
+    pub fn is_empty(&self) -> bool {
+        self.built.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Partition(PartitionId),
+    IndexPart(IndexId, u32),
+}
+
+/// The execution simulator.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    config: CloudConfig,
+    filedb: &'a FileDatabase,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a cloud model and file database.
+    pub fn new(config: CloudConfig, filedb: &'a FileDatabase) -> Self {
+        Simulator { config, filedb }
+    }
+
+    /// The cloud configuration in use.
+    pub fn config(&self) -> &CloudConfig {
+        &self.config
+    }
+
+    /// Execute a schedule.
+    ///
+    /// * `actual` — the DAG with actual runtimes/data sizes (use
+    ///   [`crate::perturb_dag`] to derive it from the estimated DAG).
+    /// * `schedule` — the planned, possibly interleaved schedule.
+    /// * `index_uses` — the dataflow's usable indexes with speedups.
+    /// * `availability` — which index partitions exist right now.
+    /// * `build_durations` — actual build times per build ref (planned
+    ///   duration assumed when absent).
+    pub fn execute(
+        &self,
+        actual: &Dag,
+        schedule: &Schedule,
+        index_uses: &[IndexUse],
+        availability: &IndexAvailability,
+        build_durations: &HashMap<BuildRef, SimDuration>,
+    ) -> ExecutionReport {
+        let mut report = ExecutionReport::default();
+        let quantum = self.config.quantum;
+
+        // Best usable index per file for this dataflow.
+        let mut best_index: HashMap<flowtune_common::FileId, IndexUse> = HashMap::new();
+        for u in index_uses {
+            let entry = best_index.entry(u.file).or_insert(*u);
+            if u.speedup > entry.speedup {
+                *entry = *u;
+            }
+        }
+
+        // Per-container state.
+        let mut caches: HashMap<ContainerId, LruCache<CacheKey>> = HashMap::new();
+        let mut container_free: HashMap<ContainerId, SimTime> = HashMap::new();
+        let mut actual_df: HashMap<flowtune_common::OpId, (ContainerId, SimTime, SimTime)> =
+            HashMap::new();
+
+        // Dataflow ops in planned order (valid: planned starts respect
+        // both dependency and per-container order).
+        let mut df_assignments: Vec<Assignment> =
+            schedule.dataflow_assignments().copied().collect();
+        df_assignments.sort_by_key(|a| (a.start, a.end, a.op));
+
+        for a in &df_assignments {
+            let op = actual.op(a.op);
+            let cache = caches
+                .entry(a.container)
+                .or_insert_with(|| LruCache::new(self.config.disk_capacity_bytes));
+            // Dependency readiness with cross-container transfer.
+            let mut ready = SimTime::ZERO;
+            for &p in actual.preds(a.op) {
+                let &(pc, _, pend) = actual_df
+                    .get(&p)
+                    .expect("planned order must process predecessors first");
+                let mut t = pend;
+                if pc != a.container {
+                    t += self.config.network_transfer(actual.edge_bytes(p, a.op));
+                }
+                ready = ready.max(t);
+            }
+            let free = container_free.get(&a.container).copied().unwrap_or(SimTime::ZERO);
+            let start = ready.max(free);
+            // Input transfers and index acceleration.
+            let mut transfer_in = SimDuration::ZERO;
+            let mut inv_speed_sum = 0.0f64;
+            for pid in &op.reads {
+                let key = CacheKey::Partition(*pid);
+                let bytes = self.filedb.partition(*pid).bytes;
+                // The indexed path reads the index partition instead of
+                // scanning the whole input partition.
+                let idx = best_index
+                    .get(&pid.file)
+                    .and_then(|u| availability.bytes(u.index, pid.part).map(|b| (*u, b)));
+                match idx {
+                    Some((u, idx_bytes)) => {
+                        report.accelerated_reads += 1;
+                        inv_speed_sum += 1.0 / u.speedup;
+                        let ikey = CacheKey::IndexPart(u.index, pid.part);
+                        if cache.get(&ikey) {
+                            report.cache_hits += 1;
+                        } else {
+                            report.cache_misses += 1;
+                            report.bytes_from_storage += idx_bytes;
+                            transfer_in += self.config.network_transfer(idx_bytes);
+                            cache.insert(ikey, idx_bytes);
+                        }
+                    }
+                    None => {
+                        report.plain_reads += 1;
+                        inv_speed_sum += 1.0;
+                        if cache.get(&key) {
+                            report.cache_hits += 1;
+                        } else {
+                            report.cache_misses += 1;
+                            report.bytes_from_storage += bytes;
+                            transfer_in += self.config.network_transfer(bytes);
+                            cache.insert(key, bytes);
+                        }
+                    }
+                }
+            }
+            let eff_runtime = if op.reads.is_empty() {
+                op.runtime
+            } else {
+                op.runtime.mul_f64(inv_speed_sum / op.reads.len() as f64)
+            };
+            let end = start + transfer_in + eff_runtime;
+            container_free.insert(a.container, end);
+            actual_df.insert(a.op, (a.container, start, end));
+            report.dataflow_ops += 1;
+        }
+
+        // Actual makespan and billing.
+        let (mut first, mut last) = (SimTime::MAX, SimTime::ZERO);
+        let mut spans: HashMap<ContainerId, (SimTime, SimTime)> = HashMap::new();
+        for &(c, s, e) in actual_df.values() {
+            first = first.min(s);
+            last = last.max(e);
+            let span = spans.entry(c).or_insert((SimTime::MAX, SimTime::ZERO));
+            span.0 = span.0.min(s);
+            span.1 = span.1.max(e);
+        }
+        report.makespan = if first == SimTime::MAX {
+            SimDuration::ZERO
+        } else {
+            last - first
+        };
+        let mut busy: HashMap<ContainerId, SimDuration> = HashMap::new();
+        for &(c, s, e) in actual_df.values() {
+            *busy.entry(c).or_insert(SimDuration::ZERO) += e - s;
+        }
+        let mut leases: HashMap<ContainerId, (SimTime, SimTime)> = HashMap::new();
+        for (&c, &(s, e)) in &spans {
+            let ls = s.quantum_floor(quantum);
+            let le = e.quantum_ceil(quantum).max(ls + quantum);
+            leases.insert(c, (ls, le));
+            report.leased_quanta += (le - ls).as_millis() / quantum.as_millis();
+        }
+        report.compute_cost =
+            pricing::compute_cost(report.leased_quanta, self.config.vm_price_per_quantum);
+
+        // Build operators: backfill real idle time in planned order.
+        let mut per_container: HashMap<ContainerId, Vec<Assignment>> = HashMap::new();
+        for a in schedule.assignments() {
+            per_container.entry(a.container).or_default().push(*a);
+        }
+        for (c, mut assignments) in per_container {
+            let Some(&(lease_start, lease_end)) = leases.get(&c) else {
+                // Container has no dataflow ops -> never leased; any
+                // planned builds there are killed outright.
+                for a in assignments.iter().filter(|a| a.is_optional()) {
+                    report.killed_builds.push(a.build.expect("optional has build"));
+                }
+                continue;
+            };
+            assignments.sort_by_key(|a| (a.start, a.end, a.op));
+            let mut cursor = lease_start;
+            for (i, a) in assignments.iter().enumerate() {
+                match a.build {
+                    None => {
+                        let &(_, _, e) = actual_df.get(&a.op).expect("df op executed");
+                        cursor = cursor.max(e);
+                    }
+                    Some(build) => {
+                        // Window: from the cursor to the next dataflow
+                        // op's actual start (preemption) or lease expiry.
+                        let next_df_start = assignments[i + 1..]
+                            .iter()
+                            .filter(|b| !b.is_optional())
+                            .map(|b| actual_df.get(&b.op).expect("df op executed").1)
+                            .next()
+                            .unwrap_or(lease_end)
+                            .min(lease_end);
+                        let start = cursor;
+                        let dur =
+                            build_durations.get(&build).copied().unwrap_or(a.duration());
+                        let end = start + dur;
+                        if end <= next_df_start && start < lease_end {
+                            report
+                                .completed_builds
+                                .push(CompletedBuild { build, finished_at: end });
+                            *busy.entry(c).or_insert(SimDuration::ZERO) += dur;
+                            cursor = end;
+                        } else {
+                            report.killed_builds.push(build);
+                            let stopped = next_df_start.max(start);
+                            *busy.entry(c).or_insert(SimDuration::ZERO) +=
+                                stopped - start.min(stopped);
+                            cursor = stopped;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Actual fragmentation: leased minus busy per container.
+        for (&c, &(ls, le)) in &leases {
+            let b = busy.get(&c).copied().unwrap_or(SimDuration::ZERO);
+            report.fragmentation += (le - ls).saturating_sub(b);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_common::{OpId, SimRng};
+    use flowtune_dataflow::{App, Dataflow, DataflowFactory, Edge, OpSpec};
+    use flowtune_interleave::{BuildOp, LpInterleaver};
+    use flowtune_sched::{SchedulerConfig, SkylineScheduler};
+    use flowtune_common::{BuildOpId, DataflowId};
+
+    fn filedb() -> FileDatabase {
+        FileDatabase::generate(&mut SimRng::seed_from_u64(42))
+    }
+
+    fn cfg() -> CloudConfig {
+        CloudConfig::default()
+    }
+
+    const Q: SimDuration = SimDuration::from_secs(60);
+
+    /// A real dependency stall: `a` [0,10) on c0, `x` [0,40) on c1,
+    /// `b` depends on both and runs on c0 — c0 idles in [10,40). A build
+    /// op of `build_secs` is planned into that gap.
+    fn stalled_with_build(build_secs: u64) -> (Dag, Schedule) {
+        let dag = Dag::new(
+            vec![
+                OpSpec::new(OpId(0), "a", SimDuration::from_secs(10)),
+                OpSpec::new(OpId(1), "x", SimDuration::from_secs(40)),
+                OpSpec::new(OpId(2), "b", SimDuration::from_secs(10)),
+            ],
+            vec![
+                Edge { from: OpId(0), to: OpId(2), bytes: 0 },
+                Edge { from: OpId(1), to: OpId(2), bytes: 0 },
+            ],
+        )
+        .unwrap();
+        let mut schedule = Schedule::from_assignments(vec![
+            Assignment {
+                op: OpId(0),
+                container: ContainerId(0),
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(10),
+                build: None,
+            },
+            Assignment {
+                op: OpId(1),
+                container: ContainerId(1),
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(40),
+                build: None,
+            },
+            Assignment {
+                op: OpId(2),
+                container: ContainerId(0),
+                start: SimTime::from_secs(40),
+                end: SimTime::from_secs(50),
+                build: None,
+            },
+        ]);
+        schedule
+            .try_insert_build(
+                ContainerId(0),
+                SimTime::from_secs(10),
+                SimTime::from_secs(10 + build_secs),
+                OpId(1_000_000),
+                BuildRef { index: IndexId(0), part: 0 },
+                Q,
+            )
+            .unwrap();
+        (dag, schedule)
+    }
+
+    #[test]
+    fn build_completes_in_gap() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        assert_eq!(r.completed_builds.len(), 1);
+        assert!(r.killed_builds.is_empty());
+        assert_eq!(r.dataflow_ops, 3);
+        // Build backfills the dependency stall: runs [10,30).
+        assert_eq!(r.completed_builds[0].finished_at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn build_killed_by_preemption() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        // Planned 30 s into the [10,40) gap, but the build actually needs
+        // 35 s: dataflow op b arrives at 40 and stops it.
+        let (dag, schedule) = stalled_with_build(30);
+        let durations: HashMap<BuildRef, SimDuration> = HashMap::from([(
+            BuildRef { index: IndexId(0), part: 0 },
+            SimDuration::from_secs(35),
+        )]);
+        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
+        assert!(r.completed_builds.is_empty());
+        assert_eq!(r.killed_builds.len(), 1);
+        // The dataflow itself is unaffected by the kill.
+        assert_eq!(r.makespan, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn build_killed_by_lease_expiry() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        // Single op [0,10); lease ends at 60. A 55 s build planned after
+        // it cannot finish before expiry.
+        let dag = Dag::new(
+            vec![OpSpec::new(OpId(0), "a", SimDuration::from_secs(10))],
+            vec![],
+        )
+        .unwrap();
+        let mut schedule = Schedule::from_assignments(vec![Assignment {
+            op: OpId(0),
+            container: ContainerId(0),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+            build: None,
+        }]);
+        schedule
+            .try_insert_build(
+                ContainerId(0),
+                SimTime::from_secs(10),
+                SimTime::from_secs(40),
+                OpId(1_000_000),
+                BuildRef { index: IndexId(3), part: 1 },
+                Q,
+            )
+            .unwrap();
+        let durations: HashMap<BuildRef, SimDuration> = HashMap::from([(
+            BuildRef { index: IndexId(3), part: 1 },
+            SimDuration::from_secs(55),
+        )]);
+        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
+        assert!(r.completed_builds.is_empty());
+        assert_eq!(r.killed_builds.len(), 1);
+        assert_eq!(r.leased_quanta, 1);
+    }
+
+    #[test]
+    fn makespan_reflects_actual_runtimes_not_planned() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(5);
+        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        // Actual: a [0,10) c0, x [0,40) c1, b [40,50) c0.
+        assert_eq!(r.makespan, SimDuration::from_secs(50));
+        assert_eq!(r.leased_quanta, 2);
+    }
+
+    #[test]
+    fn index_speedup_shrinks_runtime_and_reads_index() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let db = FileDatabase::generate(&mut rng);
+        let mut factory = DataflowFactory::new(db, 60, rng);
+        // CyberShake: large files, many partitions -> indexes matter.
+        let df: Dataflow =
+            factory.make(DataflowId(0), App::Cybershake, SimTime::ZERO);
+        let db = factory.filedb();
+        let sim = Simulator::new(cfg(), db);
+        let scheduler = SkylineScheduler::new(SchedulerConfig::default());
+        let schedule = scheduler.schedule(&df.dag).remove(0);
+
+        // No indexes.
+        let none = sim.execute(
+            &df.dag,
+            &schedule,
+            &df.index_uses,
+            &IndexAvailability::new(),
+            &HashMap::new(),
+        );
+        // All of this dataflow's indexes fully built.
+        let mut avail = IndexAvailability::new();
+        for u in &df.index_uses {
+            for p in &db.file(u.file).partitions {
+                // Index partitions are smaller than the data partitions.
+                avail.add(u.index, p.id.part, p.bytes / 8);
+            }
+        }
+        let with = sim.execute(&df.dag, &schedule, &df.index_uses, &avail, &HashMap::new());
+        assert!(
+            with.makespan < none.makespan,
+            "indexes must speed up execution: {} vs {}",
+            with.makespan,
+            none.makespan
+        );
+        assert!(with.bytes_from_storage < none.bytes_from_storage);
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_cache() {
+        // Two ops on one container reading the same partition.
+        let mut rng = SimRng::seed_from_u64(10);
+        let db = FileDatabase::generate(&mut rng);
+        let pid = db.files()[0].partitions[0].id;
+        let dag = Dag::new(
+            vec![
+                OpSpec::new(OpId(0), "r1", SimDuration::from_secs(5))
+                    .with_reads(vec![pid]),
+                OpSpec::new(OpId(1), "r2", SimDuration::from_secs(5))
+                    .with_reads(vec![pid]),
+            ],
+            vec![Edge { from: OpId(0), to: OpId(1), bytes: 0 }],
+        )
+        .unwrap();
+        let schedule = Schedule::from_assignments(vec![
+            Assignment {
+                op: OpId(0),
+                container: ContainerId(0),
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(5),
+                build: None,
+            },
+            Assignment {
+                op: OpId(1),
+                container: ContainerId(0),
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(10),
+                build: None,
+            },
+        ]);
+        let sim = Simulator::new(cfg(), &db);
+        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        assert_eq!(r.cache_hits, 1);
+        assert_eq!(r.cache_misses, 1);
+    }
+
+    #[test]
+    fn end_to_end_interleaved_scientific_run() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let db = FileDatabase::generate(&mut rng);
+        let mut factory = DataflowFactory::new(db, 100, rng);
+        let df = factory.make(DataflowId(0), App::Cybershake, SimTime::ZERO);
+        let db = factory.filedb();
+        let scheduler = SkylineScheduler::new(SchedulerConfig::default());
+        let mut schedule = scheduler.schedule(&df.dag).remove(0);
+        let pending: Vec<BuildOp> = (0..40)
+            .map(|i| BuildOp {
+                id: BuildOpId(i),
+                build: BuildRef { index: IndexId(i), part: 0 },
+                duration: SimDuration::from_secs(5 + (i as u64 % 17)),
+                gain: 1.0 + i as f64,
+            })
+            .collect();
+        LpInterleaver::new(Q).interleave(&mut schedule, &pending);
+        let sim = Simulator::new(cfg(), db);
+        let r = sim.execute(
+            &df.dag,
+            &schedule,
+            &df.index_uses,
+            &IndexAvailability::new(),
+            &HashMap::new(),
+        );
+        assert_eq!(r.dataflow_ops, df.dag.len());
+        assert!(r.makespan > SimDuration::ZERO);
+        assert!(r.leased_quanta > 0);
+        // Everything scheduled was either completed or killed.
+        assert_eq!(
+            r.build_ops_attempted(),
+            schedule.build_assignments().count()
+        );
+        assert!(r.fragmentation > SimDuration::ZERO || r.completed_builds.is_empty());
+    }
+}

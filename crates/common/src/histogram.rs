@@ -1,0 +1,98 @@
+//! Fixed-width histogram used for experiment reporting (e.g. the idle-slot
+//! and build-operator duration histograms of Fig. 10).
+
+/// A histogram over `[lo, hi)` with equally sized buckets; samples outside
+/// the range are clamped into the first/last bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `buckets` equal-width buckets over
+    /// `[lo, hi)`. Requires `lo < hi` and `buckets > 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, counts: vec![0; buckets], total: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `[start, end)` range of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Iterate `(bucket_start, bucket_end, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| {
+            let (s, e) = self.bucket_range(i);
+            (s, e, self.counts[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.99);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        let ranges: Vec<_> = h.iter().map(|(s, e, _)| (s, e)).collect();
+        assert_eq!(ranges[0], (2.0, 3.0));
+        assert_eq!(ranges[3], (5.0, 6.0));
+        for w in ranges.windows(2) {
+            assert!((w[0].1 - w[1].0).abs() < 1e-12);
+        }
+    }
+}

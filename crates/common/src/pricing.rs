@@ -1,0 +1,92 @@
+//! Cloud pricing formulas.
+//!
+//! The paper's cloud model (§3, "Cloud Model") charges compute per VM per
+//! time quantum and storage per GB per month. The helper here converts the
+//! provider's monthly storage price into the per-quantum price `Mst` the
+//! scheduler and tuner operate on, using the paper's own formula:
+//!
+//! ```text
+//! Mst = (MC · 12 · Q) / (365.25 · 24 · 60)      (Q in minutes)
+//! ```
+//!
+//! Pricing is pluggable: all downstream code reads prices from
+//! [`crate::config::CloudConfig`], never from constants, so alternative
+//! models (e.g. per-second billing) are a config change.
+
+use crate::money::Money;
+use crate::time::SimDuration;
+
+/// Minutes in an average Gregorian year (365.25 days), the constant the
+/// paper uses to convert monthly storage pricing to per-quantum pricing.
+const MINUTES_PER_YEAR: f64 = 365.25 * 24.0 * 60.0;
+
+/// Convert a *per GB per month* storage price into a *per GB per quantum*
+/// price using the paper's formula.
+pub fn storage_price_per_gb_quantum(per_gb_month: Money, quantum: SimDuration) -> Money {
+    let q_minutes = quantum.as_secs_f64() / 60.0;
+    per_gb_month.mul_f64(12.0 * q_minutes / MINUTES_PER_YEAR)
+}
+
+/// Storage cost of holding `bytes` for `quanta` billing quanta at a
+/// *per MB per quantum* price.
+///
+/// Sizes are charged pro-rata by byte (the paper counts bytes transferred
+/// and "charges appropriately over time").
+pub fn storage_cost(bytes: u64, quanta: f64, price_per_mb_quantum: Money) -> Money {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    price_per_mb_quantum.mul_f64(mb * quanta)
+}
+
+/// Compute cost of leasing `quanta` whole quanta at the per-quantum VM
+/// price.
+pub fn compute_cost(quanta: u64, vm_price_per_quantum: Money) -> Money {
+    vm_price_per_quantum * quanta as i64
+}
+
+/// Number of whole quanta needed to cover a duration (billing rounds up:
+/// resources are prepaid for whole quanta).
+pub fn quanta_to_cover(duration: SimDuration, quantum: SimDuration) -> u64 {
+    debug_assert!(quantum.as_millis() > 0, "quantum must be positive");
+    duration.as_millis().div_ceil(quantum.as_millis())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_to_quantum_conversion_matches_paper_formula() {
+        // $0.10 per GB per month, 60 s quantum (1 minute).
+        let per_month = Money::from_dollars(0.10);
+        let q = SimDuration::from_secs(60);
+        let got = storage_price_per_gb_quantum(per_month, q);
+        let expect = 0.10 * 12.0 * 1.0 / (365.25 * 24.0 * 60.0);
+        // Money has micro-dollar granularity, so the result is exact up to
+        // half a micro-dollar of rounding.
+        assert!((got.as_dollars() - expect).abs() <= 5e-7);
+    }
+
+    #[test]
+    fn storage_cost_scales_linearly() {
+        let price = Money::from_dollars(1e-4); // per MB per quantum
+        let one_mb_one_q = storage_cost(1024 * 1024, 1.0, price);
+        assert_eq!(one_mb_one_q, Money::from_dollars(1e-4));
+        let ten_mb_half_q = storage_cost(10 * 1024 * 1024, 0.5, price);
+        assert_eq!(ten_mb_half_q, Money::from_dollars(5e-4));
+    }
+
+    #[test]
+    fn quanta_round_up() {
+        let q = SimDuration::from_secs(60);
+        assert_eq!(quanta_to_cover(SimDuration::ZERO, q), 0);
+        assert_eq!(quanta_to_cover(SimDuration::from_secs(1), q), 1);
+        assert_eq!(quanta_to_cover(SimDuration::from_secs(60), q), 1);
+        assert_eq!(quanta_to_cover(SimDuration::from_secs(61), q), 2);
+    }
+
+    #[test]
+    fn compute_cost_is_price_times_quanta() {
+        let mc = Money::from_dollars(0.1);
+        assert_eq!(compute_cost(7, mc), Money::from_dollars(0.7));
+    }
+}

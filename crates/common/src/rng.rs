@@ -1,0 +1,190 @@
+//! Deterministic random number generation for workload synthesis.
+//!
+//! All experiment randomness flows through [`SimRng`], a thin wrapper over
+//! a seeded [`rand::rngs::StdRng`] that adds the distributions the paper's
+//! workload generators need (exponential inter-arrivals for the Poisson
+//! client, truncated log-normal operator runtimes, categorical choice).
+//! Normal variates are produced with Box–Muller so no extra distribution
+//! crate is required.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Seeded RNG with simulation-oriented helpers.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed. Equal seeds produce identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child generator; used to give each workload
+    /// component its own stream so adding draws in one place does not
+    /// perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Requires `lo < hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty uniform range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Requires `lo < hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty integer range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform i64 in `[lo, hi)`. Requires `lo < hi`.
+    pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty integer range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential variate with the given mean — the inter-arrival time of
+    /// a Poisson process with rate `1/mean`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse CDF; 1-u avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Standard normal variate (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.uniform(); // (0, 1]
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, stdev: f64) -> f64 {
+        debug_assert!(stdev >= 0.0, "stdev must be non-negative");
+        mean + stdev * self.standard_normal()
+    }
+
+    /// Log-normal variate parameterised by the *target* mean and standard
+    /// deviation of the resulting distribution (not of the underlying
+    /// normal), clamped to `[min, max]`.
+    ///
+    /// This is how operator runtimes are sampled to match the published
+    /// per-application statistics (Table 4): heavy-tailed like real
+    /// workflow tasks but bounded by the observed extremes.
+    pub fn lognormal_clamped(&mut self, mean: f64, stdev: f64, min: f64, max: f64) -> f64 {
+        debug_assert!(mean > 0.0 && min <= max, "invalid lognormal parameters");
+        if stdev <= 0.0 {
+            return mean.clamp(min, max);
+        }
+        let variance = stdev * stdev;
+        let mu = (mean * mean / (variance + mean * mean).sqrt()).ln();
+        let sigma = (1.0 + variance / (mean * mean)).ln().sqrt();
+        let x = (mu + sigma * self.standard_normal()).exp();
+        x.clamp(min, max)
+    }
+
+    /// Pick one element of a non-empty slice uniformly at random.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.uniform_u64(0, items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_u64(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw access for callers needing the full [`Rng`] API.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_later_draws() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut fork1 = a.fork();
+        let first = fork1.uniform();
+        // Re-derive: same parent seed, same fork point -> same child stream.
+        let mut a2 = SimRng::seed_from_u64(7);
+        let mut fork2 = a2.fork();
+        assert_eq!(first.to_bits(), fork2.uniform().to_bits());
+    }
+
+    #[test]
+    fn exponential_has_requested_mean() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(60.0)).sum::<f64>() / n as f64;
+        assert!((mean - 60.0).abs() < 2.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_matches_target_moments() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 40_000;
+        let xs: Vec<f64> =
+            (0..n).map(|_| rng.lognormal_clamped(22.97, 25.08, 0.0, f64::INFINITY)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 22.97).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 25.08).abs() < 3.0, "stdev {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_respects_clamp() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.lognormal_clamped(10.0, 30.0, 2.0, 50.0);
+            assert!((2.0..=50.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_all_elements() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*rng.choose(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 20 elements should permute");
+    }
+}

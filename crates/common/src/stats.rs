@@ -1,0 +1,185 @@
+//! Descriptive statistics.
+//!
+//! [`OnlineStats`] implements Welford's single-pass algorithm for mean and
+//! variance; it is used both to report workload characteristics (Table 4)
+//! and to aggregate experiment measurements.
+
+/// Single-pass min/max/mean/standard-deviation accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Build from an iterator of samples.
+    pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stdev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentile of a *sorted* slice using linear interpolation.
+///
+/// `q` is in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    debug_assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn known_values() {
+        let s = OnlineStats::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stdev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 4.0);
+        assert!((percentile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[7.0], 0.4), 7.0);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(a in proptest::collection::vec(-1e6f64..1e6, 0..50),
+                                   b in proptest::collection::vec(-1e6f64..1e6, 0..50)) {
+            let mut merged = OnlineStats::from_iter(a.iter().copied());
+            merged.merge(&OnlineStats::from_iter(b.iter().copied()));
+            let seq = OnlineStats::from_iter(a.iter().chain(b.iter()).copied());
+            prop_assert_eq!(merged.count(), seq.count());
+            prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+            prop_assert!((merged.variance() - seq.variance()).abs() < 1e-3);
+        }
+
+        #[test]
+        fn stdev_is_nonnegative_and_bounded(v in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s = OnlineStats::from_iter(v.iter().copied());
+            prop_assert!(s.stdev() >= 0.0);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

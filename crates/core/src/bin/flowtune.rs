@@ -1,0 +1,158 @@
+//! `flowtune` — run the QaaS index-auto-tuning service from the command
+//! line.
+//!
+//! ```bash
+//! flowtune --policy gain --workload phases --quanta 720 --seed 42
+//! flowtune --policy no-index --workload random --quanta 120 --csv
+//! ```
+
+use std::process::ExitCode;
+
+use flowtune_core::{IndexPolicy, InterleaverKind, QaasService, SchedulerKind, ServiceConfig};
+use flowtune_dataflow::WorkloadKind;
+
+const HELP: &str = "\
+flowtune — automated index management for dataflow engines (EDBT 2020)
+
+USAGE:
+    flowtune [OPTIONS]
+
+OPTIONS:
+    --policy <P>       no-index | random | gain-no-delete | gain   [gain]
+    --workload <W>     random | phases                             [phases]
+    --scheduler <S>    skyline | online-lb                         [skyline]
+    --interleaver <I>  lp | online                                 [lp]
+    --quanta <N>       simulated horizon in quanta                 [720]
+    --seed <N>         workload seed                               [default]
+    --alpha <F>        time-money trade-off in [0,1]               [0.5]
+    --fading-d <F>     gain fading controller D (quanta)           [1]
+    --window-w <F>     tuner window W (quanta)                     [30]
+    --concurrency <N>  concurrently executing dataflows            [4]
+    --error <F>        runtime/data estimation error fraction      [0]
+    --adaptive         learn a fading controller per index
+    --deferred         enable deferred batch builds
+    --csv              also print per-dataflow records as CSV
+    --help             show this help
+";
+
+fn parse_args() -> Result<(ServiceConfig, bool), String> {
+    let mut config = ServiceConfig::default();
+    config.workload = WorkloadKind::paper_phases();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--policy" => {
+                config.policy = match value("--policy")?.as_str() {
+                    "no-index" => IndexPolicy::NoIndex,
+                    "random" => IndexPolicy::Random,
+                    "gain-no-delete" => IndexPolicy::Gain { delete: false },
+                    "gain" => IndexPolicy::Gain { delete: true },
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--workload" => {
+                config.workload = match value("--workload")?.as_str() {
+                    "random" => WorkloadKind::Random,
+                    "phases" => WorkloadKind::paper_phases(),
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--scheduler" => {
+                config.scheduler = match value("--scheduler")?.as_str() {
+                    "skyline" => SchedulerKind::Skyline,
+                    "online-lb" => SchedulerKind::OnlineLoadBalance,
+                    other => return Err(format!("unknown scheduler {other:?}")),
+                }
+            }
+            "--interleaver" => {
+                config.interleaver = match value("--interleaver")?.as_str() {
+                    "lp" => InterleaverKind::Lp,
+                    "online" => InterleaverKind::Online,
+                    other => return Err(format!("unknown interleaver {other:?}")),
+                }
+            }
+            "--quanta" => {
+                config.params.total_quanta =
+                    value("--quanta")?.parse().map_err(|e| format!("--quanta: {e}"))?
+            }
+            "--seed" => {
+                config.params.seed =
+                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--alpha" => {
+                config.params.tuner.alpha =
+                    value("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?
+            }
+            "--fading-d" => {
+                config.params.tuner.fading_d =
+                    value("--fading-d")?.parse().map_err(|e| format!("--fading-d: {e}"))?
+            }
+            "--window-w" => {
+                config.params.tuner.window_w =
+                    value("--window-w")?.parse().map_err(|e| format!("--window-w: {e}"))?
+            }
+            "--concurrency" => {
+                config.concurrency =
+                    value("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--error" => {
+                let e: f64 = value("--error")?.parse().map_err(|e| format!("--error: {e}"))?;
+                config.estimation_error = (e, e);
+            }
+            "--adaptive" => config.adaptive_fading = true,
+            "--deferred" => config.deferred_builds = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    config.params.tuner.validate().map_err(|e| e.to_string())?;
+    Ok((config, csv))
+}
+
+fn main() -> ExitCode {
+    let (config, csv) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = config.policy;
+    let quanta = config.params.total_quanta;
+    eprintln!("running {} for {} quanta...", policy.label(), quanta);
+    let report = QaasService::new(config).run();
+
+    println!("policy:              {}", policy.label());
+    println!("dataflows issued:    {}", report.dataflows_issued);
+    println!("dataflows finished:  {}", report.dataflows_finished);
+    println!("avg time/dataflow:   {:.2} quanta", report.avg_makespan_quanta());
+    println!("cost/dataflow:       ${:.3}", report.cost_per_dataflow());
+    println!("compute cost:        {}", report.compute_cost);
+    println!("index storage cost:  {}", report.index_storage_cost);
+    println!("builds completed:    {}", report.builds_completed);
+    println!(
+        "builds killed:       {} ({:.1} % of all ops)",
+        report.builds_killed,
+        report.killed_percentage()
+    );
+    println!("indexes deleted:     {}", report.indexes_deleted);
+    if csv {
+        println!();
+        println!("app,issued_quanta,makespan_quanta,indexed_fraction");
+        for d in &report.per_dataflow {
+            println!(
+                "{},{:.3},{:.3},{:.3}",
+                d.app, d.issued_quanta, d.makespan_quanta, d.indexed_fraction
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

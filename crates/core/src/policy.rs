@@ -1,0 +1,68 @@
+//! Service policy knobs: index management, scheduler, interleaver.
+
+/// Index-management policy (§6.5 compares all four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPolicy {
+    /// Never build an index (the "No Index" baseline).
+    NoIndex,
+    /// Build randomly chosen potential indexes in idle slots, never
+    /// delete (the "Random" baseline).
+    Random,
+    /// The proposed gain-based auto-tuning; `delete: false` is the
+    /// paper's "Gain (no delete)" variant.
+    Gain {
+        /// Whether non-beneficial indexes are deleted.
+        delete: bool,
+    },
+}
+
+impl IndexPolicy {
+    /// Label used in experiment output, matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexPolicy::NoIndex => "No Index",
+            IndexPolicy::Random => "Random",
+            IndexPolicy::Gain { delete: false } => "Gain (no delete)",
+            IndexPolicy::Gain { delete: true } => "Gain",
+        }
+    }
+}
+
+/// Which dataflow scheduler the service uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The skyline (Pareto) scheduler of §5.3.1 — "offline" in §6.3.
+    #[default]
+    Skyline,
+    /// The online load-balance baseline.
+    OnlineLoadBalance,
+}
+
+/// Which interleaving algorithm places build operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterleaverKind {
+    /// LP-based interleaving (Alg. 2).
+    #[default]
+    Lp,
+    /// Online interleaving (§5.3.2, optional operators).
+    Online,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(IndexPolicy::NoIndex.label(), "No Index");
+        assert_eq!(IndexPolicy::Random.label(), "Random");
+        assert_eq!(IndexPolicy::Gain { delete: false }.label(), "Gain (no delete)");
+        assert_eq!(IndexPolicy::Gain { delete: true }.label(), "Gain");
+    }
+
+    #[test]
+    fn defaults_are_the_papers_proposal() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Skyline);
+        assert_eq!(InterleaverKind::default(), InterleaverKind::Lp);
+    }
+}

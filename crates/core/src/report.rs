@@ -1,0 +1,196 @@
+//! Run-level reports: the measurements behind Figures 12–14 and Table 7.
+
+use flowtune_common::Money;
+
+/// One sample of the service state over time (drives Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample time in quanta since service start.
+    pub time_quanta: f64,
+    /// Indexes with at least one built partition.
+    pub indexes_built: usize,
+    /// Index partitions currently stored.
+    pub index_partitions: usize,
+    /// Bytes of index data currently stored.
+    pub stored_bytes: u64,
+    /// Cumulative index storage cost so far.
+    pub storage_cost: Money,
+}
+
+/// Per-dataflow execution record (diagnostics and plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowRecord {
+    /// Application name.
+    pub app: &'static str,
+    /// Issue time in quanta.
+    pub issued_quanta: f64,
+    /// Execution time in quanta.
+    pub makespan_quanta: f64,
+    /// Container-quanta leased for this dataflow (its compute bill in
+    /// units of `Mc`).
+    pub cost_quanta: f64,
+    /// Fraction of the dataflow's partition reads that were served
+    /// through a built index during execution.
+    pub indexed_fraction: f64,
+}
+
+/// What happened over one full service run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Dataflows issued to the service within the horizon.
+    pub dataflows_issued: usize,
+    /// Dataflows whose execution finished within the horizon.
+    pub dataflows_finished: usize,
+    /// Total compute cost (leased quanta × VM price).
+    pub compute_cost: Money,
+    /// Total index storage cost accrued.
+    pub index_storage_cost: Money,
+    /// Sum of dataflow execution times, in quanta.
+    pub total_makespan_quanta: f64,
+    /// Dataflow operators executed.
+    pub dataflow_ops: usize,
+    /// Build operators that completed.
+    pub builds_completed: usize,
+    /// Build operators stopped by preemption or lease expiry (Table 7's
+    /// "killed").
+    pub builds_killed: usize,
+    /// Indexes deleted by the tuner.
+    pub indexes_deleted: usize,
+    /// Service-state samples over time (one per executed dataflow).
+    pub timeline: Vec<TimelinePoint>,
+    /// Per-dataflow records, in execution order.
+    pub per_dataflow: Vec<DataflowRecord>,
+}
+
+impl RunReport {
+    /// Total operators executed (Table 7's "Total Ops").
+    pub fn total_ops(&self) -> usize {
+        self.dataflow_ops + self.builds_completed + self.builds_killed
+    }
+
+    /// Share of operators that were killed, in percent (Table 7).
+    pub fn killed_percentage(&self) -> f64 {
+        if self.total_ops() == 0 {
+            0.0
+        } else {
+            100.0 * self.builds_killed as f64 / self.total_ops() as f64
+        }
+    }
+
+    /// Total money spent (compute + index storage).
+    pub fn total_cost(&self) -> Money {
+        self.compute_cost + self.index_storage_cost
+    }
+
+    /// Average cost per finished dataflow, in dollars (Figs. 12/14).
+    pub fn cost_per_dataflow(&self) -> f64 {
+        if self.dataflows_finished == 0 {
+            0.0
+        } else {
+            self.total_cost().as_dollars() / self.dataflows_finished as f64
+        }
+    }
+
+    /// Average execution time per finished dataflow, in quanta.
+    pub fn avg_makespan_quanta(&self) -> f64 {
+        if self.dataflows_finished == 0 {
+            0.0
+        } else {
+            self.total_makespan_quanta / self.dataflows_finished as f64
+        }
+    }
+}
+
+/// Evaluate the paper's global objective (Eq. 1) for a tuned run
+/// against a no-index baseline of the *same seed*:
+///
+/// ```text
+/// Σ_i Mc · (α·δtd(d_i) + (1−α)·δmd(d_i)) − Σ_j st(I[j])
+/// ```
+///
+/// Per-dataflow deltas pair the two runs positionally (identical seeds
+/// produce identical arrival sequences); the storage term is the tuned
+/// run's accrued index storage cost. Positive = the index set paid off.
+pub fn paired_objective(
+    baseline: &RunReport,
+    tuned: &RunReport,
+    alpha: f64,
+    vm_price: Money,
+) -> f64 {
+    let mc = vm_price.as_dollars();
+    let n = baseline.per_dataflow.len().min(tuned.per_dataflow.len());
+    let mut total = 0.0;
+    for i in 0..n {
+        let (b, t) = (&baseline.per_dataflow[i], &tuned.per_dataflow[i]);
+        // A faster tuned service drains its queue further into the
+        // workload, so positional pairs can drift onto different
+        // applications; only same-application pairs are comparable.
+        if b.app != t.app {
+            continue;
+        }
+        let dt = b.makespan_quanta - t.makespan_quanta;
+        // δmd: leased-quanta delta — the actual compute-bill difference.
+        let dm = b.cost_quanta - t.cost_quanta;
+        total += mc * (alpha * dt + (1.0 - alpha) * dm);
+    }
+    total - tuned.index_storage_cost.as_dollars()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = RunReport {
+            dataflows_issued: 10,
+            dataflows_finished: 8,
+            compute_cost: Money::from_dollars(4.0),
+            index_storage_cost: Money::from_dollars(0.8),
+            total_makespan_quanta: 16.0,
+            dataflow_ops: 800,
+            builds_completed: 150,
+            builds_killed: 50,
+            indexes_deleted: 3,
+            timeline: vec![],
+            per_dataflow: vec![],
+        };
+        assert_eq!(r.total_ops(), 1000);
+        assert!((r.killed_percentage() - 5.0).abs() < 1e-9);
+        assert!((r.cost_per_dataflow() - 0.6).abs() < 1e-9);
+        assert!((r.avg_makespan_quanta() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_objective_rewards_time_savings_and_charges_storage() {
+        let rec = |mk: f64| DataflowRecord {
+            app: "Montage",
+            issued_quanta: 0.0,
+            makespan_quanta: mk,
+            cost_quanta: mk,
+            indexed_fraction: 0.0,
+        };
+        let mut base = RunReport::default();
+        base.per_dataflow = vec![rec(4.0), rec(4.0)];
+        let mut tuned = RunReport::default();
+        tuned.per_dataflow = vec![rec(2.0), rec(3.0)];
+        tuned.index_storage_cost = Money::from_dollars(0.05);
+        let obj = paired_objective(&base, &tuned, 0.5, Money::from_dollars(0.1));
+        // Saved 2 + 1 quanta of both time and money: 0.1*(3) - 0.05.
+        assert!((obj - 0.25).abs() < 1e-9, "objective {obj}");
+        // A run with no savings but storage is negative.
+        let mut wasteful = RunReport::default();
+        wasteful.per_dataflow = vec![rec(4.0), rec(4.0)];
+        wasteful.index_storage_cost = Money::from_dollars(0.05);
+        assert!(paired_objective(&base, &wasteful, 0.5, Money::from_dollars(0.1)) < 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.total_ops(), 0);
+        assert_eq!(r.killed_percentage(), 0.0);
+        assert_eq!(r.cost_per_dataflow(), 0.0);
+        assert_eq!(r.avg_makespan_quanta(), 0.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The QaaS service loop.
+//!
+//! Dataflows are issued sequentially (the user "observes the results of
+//! a single dataflow before submitting the next one", §3); each issue
+//! triggers one round of Algorithm 1: tune → schedule → interleave →
+//! execute → record history.
+
+use std::collections::HashMap;
+
+use flowtune_cloud::{perturb_dag, IndexAvailability, Simulator};
+use flowtune_common::{
+    BuildOpId, DataflowId, ExperimentParams, SimRng, SimTime,
+};
+use flowtune_dataflow::{
+    filedb::ROW_BYTES, ArrivalClient, Dataflow, DataflowFactory, FileDatabase, WorkloadKind,
+};
+use flowtune_index::{IndexCatalog, IndexCostModel, IndexKind, IndexSpec};
+use flowtune_interleave::{BuildOp, DeferredBuildQueue, LpInterleaver, OnlineInterleaver};
+use flowtune_sched::{
+    BuildRef, OnlineLoadBalanceScheduler, Schedule, SchedulerConfig, SkylineScheduler,
+};
+use flowtune_storage::{ObjectKey, StorageService};
+use flowtune_tuner::{dataflow_index_gains, GainModel, HistoryEntry, OnlineTuner};
+
+use crate::policy::{IndexPolicy, InterleaverKind, SchedulerKind};
+use crate::report::{RunReport, TimelinePoint};
+
+/// Full service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Experiment parameters (Table 3).
+    pub params: ExperimentParams,
+    /// Index-management policy.
+    pub policy: IndexPolicy,
+    /// Dataflow scheduler.
+    pub scheduler: SchedulerKind,
+    /// Interleaving algorithm.
+    pub interleaver: InterleaverKind,
+    /// Workload mix.
+    pub workload: WorkloadKind,
+    /// Skyline width during planning (smaller = faster planning; the
+    /// service picks the fastest schedule anyway).
+    pub max_skyline: usize,
+    /// Cap on build operators offered to the interleaver per round.
+    pub max_pending_build_ops: usize,
+    /// Runtime / data-size estimation error injected at execution
+    /// (fractions; (0, 0) = exact estimates).
+    pub estimation_error: (f64, f64),
+    /// Concurrently executing dataflows. The provider pool (100
+    /// containers) holds several ~25-container schedules at once, so the
+    /// service drains its queue in parallel lanes.
+    pub concurrency: usize,
+    /// Learn a fading controller `D` per index from observed reuse
+    /// intervals instead of the global `TunerConfig::fading_d` (the
+    /// paper's §7 future work).
+    pub adaptive_fading: bool,
+    /// Defer build operators that fit no idle slot and run them in paid
+    /// batches once their accumulated gain covers the dedicated lease
+    /// (the paper's §7 "delayed building" future work).
+    pub deferred_builds: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            params: ExperimentParams::default(),
+            policy: IndexPolicy::Gain { delete: true },
+            scheduler: SchedulerKind::Skyline,
+            interleaver: InterleaverKind::Lp,
+            workload: WorkloadKind::Random,
+            max_skyline: 8,
+            max_pending_build_ops: 192,
+            estimation_error: (0.0, 0.0),
+            concurrency: 4,
+            adaptive_fading: false,
+            deferred_builds: false,
+        }
+    }
+}
+
+/// The Query-as-a-Service platform.
+#[derive(Debug)]
+pub struct QaasService {
+    config: ServiceConfig,
+    filedb: FileDatabase,
+    factory: DataflowFactory,
+    catalog: IndexCatalog,
+    tuner: OnlineTuner,
+    storage: StorageService,
+    rng: SimRng,
+    last_settle: SimTime,
+    deferred: DeferredBuildQueue,
+}
+
+impl QaasService {
+    /// Build the service: generate the file database, register every
+    /// potential index, initialise the tuner and the storage meter.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.params.seed);
+        let filedb = FileDatabase::generate(&mut rng);
+        let catalog = build_catalog(&filedb);
+        let factory =
+            DataflowFactory::new(filedb.clone(), config.params.ops_per_dataflow, rng.fork());
+        let cloud = &config.params.cloud;
+        let model = GainModel::new(
+            config.params.tuner.clone(),
+            cloud.quantum,
+            cloud.vm_price_per_quantum,
+            cloud.storage_price_per_mb_quantum,
+        );
+        let tuner = if config.adaptive_fading {
+            OnlineTuner::with_adaptive_fading(model)
+        } else {
+            OnlineTuner::new(model)
+        };
+        let storage =
+            StorageService::new(cloud.storage_price_per_mb_quantum, cloud.quantum);
+        let deferred =
+            DeferredBuildQueue::new(cloud.quantum, cloud.vm_price_per_quantum);
+        QaasService {
+            config,
+            filedb,
+            factory,
+            catalog,
+            tuner,
+            storage,
+            rng,
+            last_settle: SimTime::ZERO,
+            deferred,
+        }
+    }
+
+    /// The file database the service operates on.
+    pub fn filedb(&self) -> &FileDatabase {
+        &self.filedb
+    }
+
+    /// The current index catalog.
+    pub fn catalog(&self) -> &IndexCatalog {
+        &self.catalog
+    }
+
+    /// Run the service until the horizon (Table 3: 720 quanta).
+    pub fn run(&mut self) -> RunReport {
+        let params = self.config.params.clone();
+        let cloud = params.cloud.clone();
+        let horizon = SimTime::ZERO + params.horizon();
+        let mean_gap = cloud.quantum.mul_f64(params.poisson_lambda_quanta);
+        let mut client =
+            ArrivalClient::new(self.config.workload.clone(), mean_gap, self.rng.fork());
+        let mut report = RunReport::default();
+        // Each lane is one concurrently executing dataflow; a new
+        // dataflow starts on the earliest-free lane.
+        let mut lanes = vec![SimTime::ZERO; self.config.concurrency.max(1)];
+        // Gains of the dataflow currently running on each lane (Eq. 4's
+        // "currently running" δT = 0 contributions).
+        let mut lane_gains: Vec<HashMap<flowtune_common::IndexId, (f64, f64)>> =
+            vec![HashMap::new(); self.config.concurrency.max(1)];
+        let mut next_id = 0u32;
+
+        loop {
+            let (arrival, app) = client.next_arrival();
+            if arrival > horizon {
+                break;
+            }
+            let lane = (0..lanes.len())
+                .min_by_key(|&l| lanes[l])
+                .expect("at least one lane");
+            let issued = arrival.max(lanes[lane]);
+            if issued >= horizon {
+                break;
+            }
+            report.dataflows_issued += 1;
+            let df = self.factory.make(DataflowId(next_id), app, issued);
+            next_id += 1;
+
+            // --- Tune (Alg. 1 lines 2-9 and 13-19). ---
+            let gains = dataflow_index_gains(&df, &self.catalog, &cloud);
+            let used: Vec<flowtune_common::IndexId> =
+                df.index_uses.iter().map(|u| u.index).collect();
+            self.tuner.observe_uses(&used, issued);
+            let pending = match self.config.policy {
+                IndexPolicy::NoIndex => Vec::new(),
+                IndexPolicy::Random => self.random_pending(),
+                IndexPolicy::Gain { delete } => {
+                    // The queued dataflow plus every dataflow still
+                    // running on another lane contribute at δT = 0.
+                    let mut active: Vec<&HashMap<_, _>> = vec![&gains];
+                    for (l, free) in lanes.iter().enumerate() {
+                        if l != lane && *free > issued {
+                            active.push(&lane_gains[l]);
+                        }
+                    }
+                    let decision = self.tuner.decide(issued, &self.catalog, &active);
+                    if delete {
+                        for idx in &decision.deletions {
+                            self.delete_index(*idx, issued, &mut report);
+                        }
+                    }
+                    let mut ops = Vec::new();
+                    'outer: for (idx, g) in &decision.beneficial {
+                        for (part, duration, _) in self.catalog.remaining_build_ops(*idx) {
+                            if ops.len() >= self.config.max_pending_build_ops {
+                                break 'outer;
+                            }
+                            ops.push(BuildOp {
+                                id: BuildOpId(ops.len() as u32),
+                                build: BuildRef { index: *idx, part: part as u32 },
+                                duration,
+                                gain: g.g.max(1e-6),
+                            });
+                        }
+                    }
+                    ops
+                }
+            };
+
+            // --- Schedule + interleave (Alg. 1 lines 10-11). ---
+            let schedule = self.plan(&df, &pending);
+            if self.config.deferred_builds {
+                let placed: std::collections::HashSet<BuildRef> = schedule
+                    .build_assignments()
+                    .filter_map(|a| a.build)
+                    .collect();
+                self.deferred.defer(
+                    pending.iter().filter(|b| !placed.contains(&b.build)).copied(),
+                );
+                for b in &placed {
+                    self.deferred.remove(b);
+                }
+            }
+
+            // --- Execute on the simulated cloud. ---
+            let (time_err, data_err) = self.config.estimation_error;
+            let actual = if time_err > 0.0 || data_err > 0.0 {
+                perturb_dag(&df.dag, time_err, data_err, &mut self.rng)
+            } else {
+                df.dag.clone()
+            };
+            // Causality: only index partitions built before this
+            // dataflow was issued are visible to it (lanes execute
+            // logically in parallel but are processed in issue order).
+            let availability = self.availability_at(issued);
+            let exec = {
+                let sim = Simulator::new(cloud.clone(), &self.filedb);
+                sim.execute(&actual, &schedule, &df.index_uses, &availability, &HashMap::new())
+            };
+            let finish = issued + exec.makespan;
+
+            // --- Commit completed builds; killed ones stay pending via
+            // the catalog (they are re-derived next round). ---
+            let mut completed = exec.completed_builds.clone();
+            completed.sort_by_key(|cb| cb.finished_at);
+            // Builds may finish in the tail idle slot after the last
+            // dataflow operator, i.e. later than `finish`.
+            // Lanes finish out of order; storage is settled monotonically.
+            let mut settled_to = finish.max(self.last_settle);
+            for cb in &completed {
+                let at = (issued + (cb.finished_at - SimTime::ZERO)).max(self.last_settle);
+                settled_to = settled_to.max(at);
+                let part = cb.build.part as usize;
+                if !self.catalog.is_partition_built(cb.build.index, part) {
+                    self.catalog.mark_built(cb.build.index, part, at, 0);
+                    let bytes = self.catalog.spec(cb.build.index).partition_bytes(part);
+                    self.storage.put(
+                        ObjectKey::IndexPart(cb.build.index, cb.build.part),
+                        bytes,
+                        at.min(horizon),
+                    );
+                }
+            }
+
+            // --- History (Hd). ---
+            self.tuner.history.record(HistoryEntry {
+                dataflow: df.id,
+                finished_at: finish,
+                index_gains: gains.clone(),
+            });
+            self.tuner.history.prune(
+                finish,
+                cloud.quantum.mul_f64(4.0 * self.config.params.tuner.window_w),
+            );
+
+            // --- Metrics. ---
+            report.compute_cost += exec.compute_cost;
+            report.dataflow_ops += exec.dataflow_ops;
+            report.builds_completed += exec.completed_builds.len();
+            report.builds_killed += exec.killed_builds.len();
+            if finish <= horizon {
+                report.dataflows_finished += 1;
+                report.total_makespan_quanta += exec.makespan.as_quanta(cloud.quantum);
+            }
+            self.last_settle = settled_to.min(horizon);
+            self.storage.settle(self.last_settle);
+            let total_reads = exec.accelerated_reads + exec.plain_reads;
+            let indexed = if total_reads == 0 {
+                0.0
+            } else {
+                exec.accelerated_reads as f64 / total_reads as f64
+            };
+            report.per_dataflow.push(crate::report::DataflowRecord {
+                app: df.app.name(),
+                issued_quanta: issued.as_quanta(cloud.quantum),
+                makespan_quanta: exec.makespan.as_quanta(cloud.quantum),
+                cost_quanta: exec.leased_quanta as f64,
+                indexed_fraction: indexed,
+            });
+            report.timeline.push(TimelinePoint {
+                time_quanta: finish.as_quanta(cloud.quantum),
+                indexes_built: self
+                    .catalog
+                    .ids()
+                    .filter(|i| !self.catalog.state(*i).empty())
+                    .count(),
+                index_partitions: self
+                    .catalog
+                    .ids()
+                    .map(|i| self.catalog.state(i).built_count())
+                    .sum(),
+                stored_bytes: self.catalog.total_built_bytes(),
+                storage_cost: self.storage.accrued_cost(),
+            });
+            lanes[lane] = finish;
+            lane_gains[lane] = gains;
+
+            // --- Deferred batch building (paid, gain-justified). ---
+            if self.config.deferred_builds {
+                while let Some(batch) = self.deferred.try_flush() {
+                    let mut at = issued;
+                    for op in &batch.ops {
+                        at += op.duration;
+                        let part = op.build.part as usize;
+                        if !self.catalog.is_partition_built(op.build.index, part) {
+                            let commit = at.max(self.last_settle).min(horizon);
+                            self.catalog.mark_built(op.build.index, part, commit, 0);
+                            let bytes =
+                                self.catalog.spec(op.build.index).partition_bytes(part);
+                            self.storage.put(
+                                ObjectKey::IndexPart(op.build.index, op.build.part),
+                                bytes,
+                                commit,
+                            );
+                            self.last_settle = commit;
+                        }
+                    }
+                    report.compute_cost += batch.cost;
+                    report.builds_completed += batch.ops.len();
+                }
+            }
+        }
+        self.storage.settle(horizon);
+        report.index_storage_cost = self.storage.accrued_cost();
+        report
+    }
+
+    /// Plan one dataflow: schedule, pick the fastest, interleave.
+    fn plan(&mut self, df: &Dataflow, pending: &[BuildOp]) -> Schedule {
+        let cloud = &self.config.params.cloud;
+        let sched_config = SchedulerConfig {
+            max_containers: cloud.max_containers,
+            max_skyline: self.config.max_skyline,
+            quantum: cloud.quantum,
+            vm_price: cloud.vm_price_per_quantum,
+            network_bandwidth: cloud.network_bandwidth,
+        };
+        match (self.config.scheduler, self.config.interleaver) {
+            (SchedulerKind::OnlineLoadBalance, _) => {
+                let mut schedule = OnlineLoadBalanceScheduler::new(
+                    cloud.max_containers,
+                    cloud.network_bandwidth,
+                )
+                .schedule(&df.dag);
+                if !pending.is_empty() {
+                    LpInterleaver::new(cloud.quantum).interleave(&mut schedule, pending);
+                }
+                schedule
+            }
+            (SchedulerKind::Skyline, InterleaverKind::Lp) => {
+                let scheduler = SkylineScheduler::new(sched_config);
+                // The service executes the fastest schedule (§5.2).
+                let mut schedule = scheduler.schedule(&df.dag).remove(0);
+                if !pending.is_empty() {
+                    LpInterleaver::new(cloud.quantum).interleave(&mut schedule, pending);
+                }
+                schedule
+            }
+            (SchedulerKind::Skyline, InterleaverKind::Online) => {
+                let interleaver =
+                    OnlineInterleaver::new(SkylineScheduler::new(sched_config));
+                interleaver.schedule(&df.dag, pending).remove(0)
+            }
+        }
+    }
+
+    /// The "Random" baseline: pick a few random potential indexes and
+    /// offer their remaining build ops with uninformative gains.
+    fn random_pending(&mut self) -> Vec<BuildOp> {
+        let mut ops = Vec::new();
+        for _ in 0..3 {
+            let idx = flowtune_common::IndexId(
+                self.rng.uniform_u64(0, self.catalog.len() as u64) as u32,
+            );
+            for (part, duration, _) in self.catalog.remaining_build_ops(idx) {
+                if ops.len() >= self.config.max_pending_build_ops {
+                    return ops;
+                }
+                ops.push(BuildOp {
+                    id: BuildOpId(ops.len() as u32),
+                    build: BuildRef { index: idx, part: part as u32 },
+                    duration,
+                    gain: 1.0,
+                });
+            }
+        }
+        ops
+    }
+
+    fn delete_index(&mut self, idx: flowtune_common::IndexId, now: SimTime, report: &mut RunReport) {
+        let parts = self.catalog.state(idx).parts.len();
+        let freed = self.catalog.delete_index(idx);
+        if freed > 0 {
+            report.indexes_deleted += 1;
+            for part in 0..parts {
+                // Never bill backwards: a build committed in the previous
+                // dataflow's tail slot may have settled past `now`.
+                let at = now.max(self.last_settle);
+                self.storage.delete(&ObjectKey::IndexPart(idx, part as u32), at);
+            }
+        }
+    }
+
+    fn availability_at(&self, now: SimTime) -> IndexAvailability {
+        let mut avail = IndexAvailability::new();
+        for idx in self.catalog.ids() {
+            let state = self.catalog.state(idx);
+            if state.empty() {
+                continue;
+            }
+            for (part, built) in state.parts.iter().enumerate() {
+                if built.is_some_and(|b| b.built_at <= now) {
+                    avail.add(idx, part as u32, self.catalog.spec(idx).partition_bytes(part));
+                }
+            }
+        }
+        avail
+    }
+}
+
+/// Register every potential index of the file database, preserving ids.
+pub fn build_catalog(filedb: &FileDatabase) -> IndexCatalog {
+    let mut catalog = IndexCatalog::new();
+    for pi in filedb.potential_indexes() {
+        let rows: Vec<u64> =
+            filedb.file(pi.file).partitions.iter().map(|p| p.rows).collect();
+        let id = catalog.add(IndexSpec {
+            id: pi.id,
+            file: pi.file,
+            column: pi.column.to_owned(),
+            kind: IndexKind::BTree,
+            model: IndexCostModel::new(pi.rec_bytes(), ROW_BYTES),
+            partition_rows: rows,
+        });
+        assert_eq!(id, pi.id, "catalog ids must match file-database ids");
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_config(policy: IndexPolicy) -> ServiceConfig {
+        let mut c = ServiceConfig::default();
+        c.params.total_quanta = 40;
+        c.params.seed = 7;
+        c.policy = policy;
+        c.max_skyline = 4;
+        c
+    }
+
+    #[test]
+    fn no_index_policy_builds_nothing() {
+        let mut svc = QaasService::new(short_config(IndexPolicy::NoIndex));
+        let r = svc.run();
+        assert!(r.dataflows_finished > 0);
+        assert_eq!(r.builds_completed, 0);
+        assert_eq!(r.builds_killed, 0);
+        assert_eq!(r.index_storage_cost, flowtune_common::Money::ZERO);
+    }
+
+    #[test]
+    fn gain_policy_builds_indexes_and_accrues_storage() {
+        let mut svc = QaasService::new(short_config(IndexPolicy::Gain { delete: true }));
+        let r = svc.run();
+        assert!(r.dataflows_finished > 0);
+        assert!(r.builds_completed > 0, "gain policy never built an index");
+        assert!(r.index_storage_cost > flowtune_common::Money::ZERO);
+        assert!(!r.timeline.is_empty());
+        let built_at_end = r.timeline.last().unwrap().indexes_built;
+        assert!(built_at_end > 0);
+    }
+
+    #[test]
+    fn indexes_reduce_execution_time_versus_no_index() {
+        let mut no_index = QaasService::new(short_config(IndexPolicy::NoIndex));
+        let base = no_index.run();
+        let mut gain = QaasService::new(short_config(IndexPolicy::Gain { delete: true }));
+        let tuned = gain.run();
+        // Same seed, same workload: the tuned service must finish at
+        // least as many dataflows.
+        assert!(
+            tuned.dataflows_finished >= base.dataflows_finished,
+            "tuned {} vs base {}",
+            tuned.dataflows_finished,
+            base.dataflows_finished
+        );
+    }
+
+    #[test]
+    fn random_policy_never_deletes() {
+        let mut svc = QaasService::new(short_config(IndexPolicy::Random));
+        let r = svc.run();
+        assert_eq!(r.indexes_deleted, 0);
+    }
+
+    #[test]
+    fn catalog_ids_align_with_filedb() {
+        let svc = QaasService::new(short_config(IndexPolicy::NoIndex));
+        assert_eq!(svc.catalog().len(), svc.filedb().potential_indexes().len());
+    }
+}

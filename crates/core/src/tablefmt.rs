@@ -1,0 +1,70 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Render rows as a fixed-width text table. The first row is the
+/// header; columns are sized to their widest cell.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, width) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}"));
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shorthand for building a row of cells from displayable values.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($cell.to_string()),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let rows = vec![
+            row!["Query", "Speedup"],
+            row!["Order by", 7.44],
+            row!["Lookup", 627.14],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Query"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("7.44"));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render_table(&[]), "");
+    }
+}

@@ -1,0 +1,288 @@
+//! The dataflow DAG.
+//!
+//! Nodes are operators, edges are data flows labelled with the bytes
+//! transferred (§3). The DAG is validated at construction (ids dense,
+//! no self-edges, acyclic) and exposes the traversals the schedulers
+//! need: topological order, predecessor/successor adjacency, roots,
+//! total work and critical path.
+
+use flowtune_common::{FlowtuneError, OpId, Result, SimDuration};
+
+use crate::op::OpSpec;
+
+/// A data-flow edge: `from` produces `bytes` consumed by `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producer operator.
+    pub from: OpId,
+    /// Consumer operator.
+    pub to: OpId,
+    /// Data volume transferred.
+    pub bytes: u64,
+}
+
+/// A validated dataflow DAG.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    ops: Vec<OpSpec>,
+    edges: Vec<Edge>,
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+}
+
+impl Dag {
+    /// Build and validate a DAG. Operators must have dense ids
+    /// `0..ops.len()` in order; edges must reference valid ids, contain
+    /// no self-loops and form no cycle.
+    pub fn new(ops: Vec<OpSpec>, edges: Vec<Edge>) -> Result<Self> {
+        for (i, op) in ops.iter().enumerate() {
+            if op.id.index() != i {
+                return Err(FlowtuneError::invalid_dag(format!(
+                    "operator at position {i} has id {}",
+                    op.id
+                )));
+            }
+        }
+        let n = ops.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for e in &edges {
+            if e.from.index() >= n || e.to.index() >= n {
+                return Err(FlowtuneError::invalid_dag(format!(
+                    "edge {} -> {} references missing operator",
+                    e.from, e.to
+                )));
+            }
+            if e.from == e.to {
+                return Err(FlowtuneError::invalid_dag(format!("self edge at {}", e.from)));
+            }
+            preds[e.to.index()].push(e.from);
+            succs[e.from.index()].push(e.to);
+        }
+        let dag = Dag { ops, edges, preds, succs };
+        // Kahn's algorithm detects cycles.
+        if dag.topo_order().len() != n {
+            return Err(FlowtuneError::invalid_dag("cycle detected"));
+        }
+        Ok(dag)
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the DAG has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operator by id.
+    pub fn op(&self, id: OpId) -> &OpSpec {
+        &self.ops[id.index()]
+    }
+
+    /// All operators in id order.
+    pub fn ops(&self) -> &[OpSpec] {
+        &self.ops
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Direct predecessors of an operator.
+    pub fn preds(&self, id: OpId) -> &[OpId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors of an operator.
+    pub fn succs(&self, id: OpId) -> &[OpId] {
+        &self.succs[id.index()]
+    }
+
+    /// Bytes flowing along edge `from -> to` (0 when absent).
+    pub fn edge_bytes(&self, from: OpId, to: OpId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.from == from && e.to == to)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Operators with no predecessors (entry nodes).
+    pub fn roots(&self) -> Vec<OpId> {
+        (0..self.ops.len())
+            .map(OpId::from_index)
+            .filter(|id| self.preds(*id).is_empty())
+            .collect()
+    }
+
+    /// Operators with no successors (exit nodes).
+    pub fn sinks(&self) -> Vec<OpId> {
+        (0..self.ops.len())
+            .map(OpId::from_index)
+            .filter(|id| self.succs(*id).is_empty())
+            .collect()
+    }
+
+    /// A topological order (Kahn). Shorter than `len()` iff cyclic, which
+    /// `new` rejects — so for a constructed `Dag` it always covers all
+    /// operators.
+    pub fn topo_order(&self) -> Vec<OpId> {
+        let n = self.ops.len();
+        let mut in_deg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: std::collections::VecDeque<OpId> =
+            (0..n).map(OpId::from_index).filter(|id| in_deg[id.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &s in self.succs(id) {
+                in_deg[s.index()] -= 1;
+                if in_deg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Sum of all operator runtimes (the serial execution time).
+    pub fn total_work(&self) -> SimDuration {
+        self.ops.iter().map(|o| o.runtime).sum()
+    }
+
+    /// Length of the critical path, ignoring communication: a lower
+    /// bound on any schedule's makespan.
+    pub fn critical_path(&self) -> SimDuration {
+        let mut finish = vec![SimDuration::ZERO; self.ops.len()];
+        for id in self.topo_order() {
+            let ready = self
+                .preds(id)
+                .iter()
+                .map(|p| finish[p.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            finish[id.index()] = ready + self.op(id).runtime;
+        }
+        finish.into_iter().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Maximum number of operators that can run concurrently, estimated
+    /// as the widest level of a longest-path level decomposition.
+    pub fn width(&self) -> usize {
+        let mut level = vec![0usize; self.ops.len()];
+        let mut max_level = 0;
+        for id in self.topo_order() {
+            let l = self
+                .preds(id)
+                .iter()
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[id.index()] = l;
+            max_level = max_level.max(l);
+        }
+        let mut counts = vec![0usize; max_level + 1];
+        for &l in &level {
+            counts[l] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: u32, secs: u64) -> OpSpec {
+        OpSpec::new(OpId(i), format!("op{i}"), SimDuration::from_secs(secs))
+    }
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Dag::new(
+            vec![op(0, 1), op(1, 2), op(2, 5), op(3, 1)],
+            vec![
+                Edge { from: OpId(0), to: OpId(1), bytes: 10 },
+                Edge { from: OpId(0), to: OpId(2), bytes: 20 },
+                Edge { from: OpId(1), to: OpId(3), bytes: 30 },
+                Edge { from: OpId(2), to: OpId(3), bytes: 40 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adjacency_and_lookup() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.roots(), vec![OpId(0)]);
+        assert_eq!(d.sinks(), vec![OpId(3)]);
+        assert_eq!(d.preds(OpId(3)), &[OpId(1), OpId(2)]);
+        assert_eq!(d.succs(OpId(0)), &[OpId(1), OpId(2)]);
+        assert_eq!(d.edge_bytes(OpId(2), OpId(3)), 40);
+        assert_eq!(d.edge_bytes(OpId(3), OpId(0)), 0);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let d = diamond();
+        let order = d.topo_order();
+        let pos = |id: OpId| order.iter().position(|x| *x == id).unwrap();
+        for e in d.edges() {
+            assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    #[test]
+    fn work_and_critical_path() {
+        let d = diamond();
+        assert_eq!(d.total_work(), SimDuration::from_secs(9));
+        // Critical path 0 -> 2 -> 3 = 1 + 5 + 1.
+        assert_eq!(d.critical_path(), SimDuration::from_secs(7));
+        assert_eq!(d.width(), 2);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Dag::new(
+            vec![op(0, 1), op(1, 1)],
+            vec![
+                Edge { from: OpId(0), to: OpId(1), bytes: 0 },
+                Edge { from: OpId(1), to: OpId(0), bytes: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let err =
+            Dag::new(vec![op(0, 1)], vec![Edge { from: OpId(0), to: OpId(0), bytes: 0 }])
+                .unwrap_err();
+        assert!(err.to_string().contains("self edge"));
+    }
+
+    #[test]
+    fn bad_ids_rejected() {
+        let err = Dag::new(vec![op(5, 1)], vec![]).unwrap_err();
+        assert!(err.to_string().contains("has id"));
+        let err = Dag::new(
+            vec![op(0, 1)],
+            vec![Edge { from: OpId(0), to: OpId(7), bytes: 0 }],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("missing operator"));
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let d = Dag::new(vec![], vec![]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.critical_path(), SimDuration::ZERO);
+        assert_eq!(d.width(), 0);
+    }
+}

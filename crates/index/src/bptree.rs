@@ -1,0 +1,618 @@
+//! A from-scratch B+Tree.
+//!
+//! Maps orderable keys to `u32` row ids, allows duplicate keys, supports
+//! point lookup, ordered range scans and full in-order traversal — the
+//! access paths behind the paper's five operator categories (lookup,
+//! range select, sorting, grouping, join). Nodes live in an arena
+//! (`Vec<Node>`), leaves are chained for range scans.
+
+use std::fmt::Debug;
+
+/// Maximum keys per node if not overridden.
+pub const DEFAULT_ORDER: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Node<K> {
+    Internal {
+        /// `keys[i]` is the smallest key reachable under `children[i+1]`.
+        keys: Vec<K>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        rows: Vec<u32>,
+        next: Option<u32>,
+    },
+}
+
+/// B+Tree from keys to row ids; duplicates allowed.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K> {
+    nodes: Vec<Node<K>>,
+    root: u32,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone + Debug> Default for BPlusTree<K> {
+    fn default() -> Self {
+        Self::new(DEFAULT_ORDER)
+    }
+}
+
+impl<K: Ord + Clone + Debug> BPlusTree<K> {
+    /// Create an empty tree with the given order (max keys per node,
+    /// must be ≥ 3).
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "B+Tree order must be at least 3");
+        BPlusTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), rows: Vec::new(), next: None }],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Bulk-build from `(key, row)` pairs sorted by key. Leaves are packed
+    /// to `order` entries, then internal levels are stacked — O(n).
+    ///
+    /// Panics if the input is not sorted by key.
+    pub fn bulk_build(order: usize, pairs: &[(K, u32)]) -> Self {
+        assert!(order >= 3, "B+Tree order must be at least 3");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_build input must be sorted by key"
+        );
+        if pairs.is_empty() {
+            return Self::new(order);
+        }
+        let mut nodes: Vec<Node<K>> = Vec::new();
+        // Build the leaf level.
+        let mut level: Vec<(K, u32)> = Vec::new(); // (min key, node id)
+        for chunk in pairs.chunks(order) {
+            let id = nodes.len() as u32;
+            if let Some(prev) = nodes.last_mut() {
+                if let Node::Leaf { next, .. } = prev {
+                    *next = Some(id);
+                }
+            }
+            nodes.push(Node::Leaf {
+                keys: chunk.iter().map(|(k, _)| k.clone()).collect(),
+                rows: chunk.iter().map(|(_, r)| *r).collect(),
+                next: None,
+            });
+            level.push((chunk[0].0.clone(), id));
+        }
+        // Stack internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut upper: Vec<(K, u32)> = Vec::new();
+            for chunk in level.chunks(order + 1) {
+                let id = nodes.len() as u32;
+                nodes.push(Node::Internal {
+                    keys: chunk[1..].iter().map(|(k, _)| k.clone()).collect(),
+                    children: chunk.iter().map(|(_, c)| *c).collect(),
+                });
+                upper.push((chunk[0].0.clone(), id));
+            }
+            level = upper;
+        }
+        let root = level[0].1;
+        BPlusTree { nodes, root, order, len: pairs.len() }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the arena (live nodes; splits never free).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Insert a `(key, row)` pair; duplicates are kept.
+    pub fn insert(&mut self, key: K, row: u32) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, row) {
+            // Root split: create a new root.
+            let old_root = self.root;
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = id;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_node))` when
+    /// the child split.
+    fn insert_rec(&mut self, node: u32, key: K, row: u32) -> Option<(K, u32)> {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, rows, .. } => {
+                let pos = keys.partition_point(|k| *k <= key);
+                keys.insert(pos, key);
+                rows.insert(pos, row);
+                if keys.len() > self.order {
+                    Some(self.split_leaf(node))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Route with strict `<` so a key equal to a separator goes
+                // left; the leaf chain makes duplicates that historically
+                // stayed right of the separator still reachable.
+                let child_idx = keys.partition_point(|k| *k < key);
+                let child = children[child_idx];
+                let (sep, right) = self.insert_rec(child, key, row)?;
+                if let Node::Internal { keys, children } = &mut self.nodes[node as usize] {
+                    // The new right node goes immediately after the child
+                    // that split; with duplicate separators a key search
+                    // could misplace it.
+                    keys.insert(child_idx, sep);
+                    children.insert(child_idx + 1, right);
+                    if keys.len() > self.order {
+                        return Some(self.split_internal(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: u32) -> (K, u32) {
+        let new_id = self.nodes.len() as u32;
+        let (sep, new_node) = match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, rows, next } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<K> = keys.split_off(mid);
+                let right_rows: Vec<u32> = rows.split_off(mid);
+                let sep = right_keys[0].clone();
+                let right =
+                    Node::Leaf { keys: right_keys, rows: right_rows, next: next.take() };
+                *next = Some(new_id);
+                (sep, right)
+            }
+            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+        };
+        self.nodes.push(new_node);
+        (sep, new_id)
+    }
+
+    fn split_internal(&mut self, node: u32) -> (K, u32) {
+        let new_id = self.nodes.len() as u32;
+        let (sep, new_node) = match &mut self.nodes[node as usize] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<K> = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("internal node must have a middle key");
+                let right_children: Vec<u32> = children.split_off(mid + 1);
+                (sep, Node::Internal { keys: right_keys, children: right_children })
+            }
+            Node::Leaf { .. } => unreachable!("split_internal on leaf node"),
+        };
+        self.nodes.push(new_node);
+        (sep, new_id)
+    }
+
+    /// Locate the leaf that may contain `key` (or the first key ≥ it) and
+    /// the position within it.
+    fn seek(&self, key: &K) -> (u32, usize) {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    node = children[keys.partition_point(|k| k < key)];
+                }
+                Node::Leaf { keys, .. } => {
+                    return (node, keys.partition_point(|k| k < key));
+                }
+            }
+        }
+    }
+
+    /// Remove one `(key, row)` entry; returns true if it existed.
+    ///
+    /// Deletion is *lazy*: the entry is removed from its leaf but nodes
+    /// are never merged or rebalanced. Search correctness is unaffected
+    /// (separators stay valid bounds); space is reclaimed when the index
+    /// partition is rebuilt, which is how the catalog handles updates
+    /// anyway (stale partitions are dropped wholesale).
+    pub fn remove(&mut self, key: &K, row: u32) -> bool {
+        let (mut leaf, _) = self.seek(key);
+        loop {
+            let next_leaf = match &mut self.nodes[leaf as usize] {
+                Node::Leaf { keys, rows, next } => {
+                    let start = keys.partition_point(|k| k < key);
+                    let mut i = start;
+                    while i < keys.len() && &keys[i] == key {
+                        if rows[i] == row {
+                            keys.remove(i);
+                            rows.remove(i);
+                            self.len -= 1;
+                            return true;
+                        }
+                        i += 1;
+                    }
+                    // A duplicates run may continue in the next leaf.
+                    if i == keys.len() {
+                        *next
+                    } else {
+                        None
+                    }
+                }
+                Node::Internal { .. } => unreachable!("seek returns a leaf"),
+            };
+            match next_leaf {
+                Some(n) => leaf = n,
+                None => return false,
+            }
+        }
+    }
+
+    /// Remove every entry for `key`; returns how many were removed.
+    pub fn remove_all(&mut self, key: &K) -> usize {
+        let rows: Vec<u32> = self.get(key).collect();
+        for r in &rows {
+            let removed = self.remove(key, *r);
+            debug_assert!(removed, "row listed by get must be removable");
+        }
+        rows.len()
+    }
+
+    /// Row ids of all entries equal to `key`, in insertion-independent
+    /// (key) order.
+    pub fn get<'a>(&'a self, key: &'a K) -> impl Iterator<Item = u32> + 'a {
+        self.range(key, key).map(|(_, r)| r)
+    }
+
+    /// First row id for `key`, if any.
+    pub fn get_first(&self, key: &K) -> Option<u32> {
+        self.get(key).next()
+    }
+
+    /// Ordered iterator over all `(key, row)` with `lo ≤ key ≤ hi`.
+    pub fn range<'a>(&'a self, lo: &'a K, hi: &'a K) -> RangeIter<'a, K> {
+        let (leaf, pos) = self.seek(lo);
+        RangeIter { tree: self, leaf: Some(leaf), pos, lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// Ordered iterator over every `(key, row)` entry.
+    pub fn iter(&self) -> RangeIter<'_, K> {
+        // Walk to the leftmost leaf.
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { .. } => break,
+            }
+        }
+        RangeIter { tree: self, leaf: Some(node), pos: 0, lo: None, hi: None }
+    }
+
+    /// Verify structural invariants (sortedness, key/child arity, leaf
+    /// chain order). Used by tests and fuzzing; O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Every leaf's keys sorted; chained leaves globally sorted.
+        let mut last: Option<K> = None;
+        let mut counted = 0usize;
+        for (k, _) in self.iter() {
+            if let Some(prev) = &last {
+                if prev > k {
+                    return Err(format!("keys out of order: {prev:?} > {k:?}"));
+                }
+            }
+            last = Some(k.clone());
+            counted += 1;
+        }
+        if counted != self.len {
+            return Err(format!("len {} but iterated {counted}", self.len));
+        }
+        self.check_node(self.root, None, None)
+    }
+
+    fn check_node(&self, node: u32, lo: Option<&K>, hi: Option<&K>) -> Result<(), String> {
+        match &self.nodes[node as usize] {
+            Node::Leaf { keys, rows, .. } => {
+                if keys.len() != rows.len() {
+                    return Err("leaf keys/rows length mismatch".into());
+                }
+                for k in keys {
+                    if lo.is_some_and(|lo| k < lo) || hi.is_some_and(|hi| k > hi) {
+                        return Err(format!("leaf key {k:?} outside separator bounds"));
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err("internal arity mismatch".into());
+                }
+                if keys.windows(2).any(|w| w[0] > w[1]) {
+                    return Err("internal keys unsorted".into());
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(child, child_lo, child_hi)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Ordered iterator over `(key, row)` pairs of a [`BPlusTree`].
+pub struct RangeIter<'a, K> {
+    tree: &'a BPlusTree<K>,
+    leaf: Option<u32>,
+    pos: usize,
+    lo: Option<&'a K>,
+    hi: Option<&'a K>,
+}
+
+impl<'a, K: Ord + Clone + Debug> Iterator for RangeIter<'a, K> {
+    type Item = (&'a K, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            match &self.tree.nodes[leaf as usize] {
+                Node::Leaf { keys, rows, next } => {
+                    if self.pos < keys.len() {
+                        let k = &keys[self.pos];
+                        // A duplicates run can span leaves: entries below
+                        // `lo` may still appear at the head of a chained
+                        // leaf. Skip them (keys are globally sorted, so
+                        // this terminates at the first in-range key).
+                        if self.lo.is_some_and(|lo| k < lo) {
+                            self.pos += 1;
+                            continue;
+                        }
+                        if self.hi.is_some_and(|hi| k > hi) {
+                            self.leaf = None;
+                            return None;
+                        }
+                        let r = rows[self.pos];
+                        self.pos += 1;
+                        return Some((k, r));
+                    }
+                    self.leaf = *next;
+                    self.pos = 0;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain points to internal node"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i64> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get_first(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = BPlusTree::new(4);
+        for k in [5i64, 1, 9, 3, 7, 2, 8, 6, 4, 0] {
+            t.insert(k, k as u32 * 10);
+        }
+        assert_eq!(t.len(), 10);
+        for k in 0..10i64 {
+            assert_eq!(t.get_first(&k), Some(k as u32 * 10), "key {k}");
+        }
+        assert_eq!(t.get_first(&42), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..20u32 {
+            t.insert(7i64, i);
+        }
+        t.insert(3, 100);
+        let rows: Vec<u32> = t.get(&7).collect();
+        assert_eq!(rows.len(), 20);
+        assert_eq!(t.get(&3).count(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let mut t = BPlusTree::new(5);
+        for k in (0..200i64).rev() {
+            t.insert(k, k as u32);
+        }
+        let got: Vec<i64> = t.range(&50, &59).map(|(k, _)| *k).collect();
+        assert_eq!(got, (50..=59).collect::<Vec<_>>());
+        // Empty range.
+        assert_eq!(t.range(&300, &400).count(), 0);
+        // Range covering everything.
+        assert_eq!(t.range(&-10, &10_000).count(), 200);
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental() {
+        let pairs: Vec<(i64, u32)> = (0..500).map(|i| (i / 3, i as u32)).collect();
+        let bulk = BPlusTree::bulk_build(8, &pairs);
+        let mut inc = BPlusTree::new(8);
+        for (k, r) in &pairs {
+            inc.insert(*k, *r);
+        }
+        bulk.check_invariants().unwrap();
+        inc.check_invariants().unwrap();
+        let a: Vec<(i64, u32)> = bulk.iter().map(|(k, r)| (*k, r)).collect();
+        let b: Vec<(i64, u32)> = inc.iter().map(|(k, r)| (*k, r)).collect();
+        // Same multiset per key (row order within equal keys may differ).
+        assert_eq!(a.len(), b.len());
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.sort_unstable();
+        b2.sort_unstable();
+        assert_eq!(a2, b2);
+        assert_eq!(bulk.len(), 500);
+    }
+
+    #[test]
+    fn bulk_build_empty_and_single() {
+        let t: BPlusTree<i64> = BPlusTree::bulk_build(4, &[]);
+        assert!(t.is_empty());
+        let t = BPlusTree::bulk_build(4, &[(9i64, 1)]);
+        assert_eq!(t.get_first(&9), Some(1));
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let pairs: Vec<(i64, u32)> = (0..10_000).map(|i| (i, i as u32)).collect();
+        let t = BPlusTree::bulk_build(64, &pairs);
+        // 10k entries at order 64: leaves ~157, one or two internal levels.
+        assert!(t.height() <= 3, "height {}", t.height());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t = BPlusTree::new(4);
+        for (i, w) in ["pear", "apple", "fig", "date", "cherry"].iter().enumerate() {
+            t.insert((*w).to_owned(), i as u32);
+        }
+        let inorder: Vec<String> = t.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(inorder, ["apple", "cherry", "date", "fig", "pear"]);
+    }
+
+    #[test]
+    fn remove_deletes_specific_entries() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..50u32 {
+            t.insert((i / 5) as i64, i);
+        }
+        assert!(t.remove(&3, 17));
+        assert!(!t.remove(&3, 17), "double delete must fail");
+        assert!(!t.remove(&99, 0), "missing key");
+        assert_eq!(t.len(), 49);
+        assert!(!t.get(&3).any(|r| r == 17));
+        assert_eq!(t.get(&3).count(), 4);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_all_clears_duplicates_across_leaves() {
+        let mut t = BPlusTree::new(3);
+        for i in 0..30u32 {
+            t.insert(7i64, i);
+        }
+        t.insert(1, 100);
+        t.insert(9, 101);
+        assert_eq!(t.remove_all(&7), 30);
+        assert_eq!(t.get(&7).count(), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get_first(&1), Some(100));
+        assert_eq!(t.get_first(&9), Some(101));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stays_consistent() {
+        let mut t = BPlusTree::new(4);
+        for round in 0..5 {
+            for i in 0..40u32 {
+                t.insert((i % 10) as i64, round * 100 + i);
+            }
+            for k in 0..5i64 {
+                t.remove_all(&k);
+            }
+            t.check_invariants().unwrap();
+        }
+        for k in 0..5i64 {
+            assert_eq!(t.get(&k).count(), 0);
+        }
+        for k in 5..10i64 {
+            assert_eq!(t.get(&k).count(), 20, "key {k}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn remove_matches_multiset_reference(
+            ops in proptest::collection::vec((0i64..20, 0u32..8, proptest::bool::ANY), 0..300)
+        ) {
+            let mut t = BPlusTree::new(4);
+            let mut reference: Vec<(i64, u32)> = Vec::new();
+            for (k, r, is_insert) in ops {
+                if is_insert {
+                    t.insert(k, r);
+                    reference.push((k, r));
+                } else {
+                    let expect = reference.iter().position(|&e| e == (k, r));
+                    let got = t.remove(&k, r);
+                    prop_assert_eq!(got, expect.is_some());
+                    if let Some(pos) = expect {
+                        reference.swap_remove(pos);
+                    }
+                }
+            }
+            prop_assert_eq!(t.len(), reference.len());
+            let mut got: Vec<(i64, u32)> = t.iter().map(|(k, r)| (*k, r)).collect();
+            got.sort_unstable();
+            reference.sort_unstable();
+            prop_assert_eq!(got, reference);
+            t.check_invariants().unwrap();
+        }
+
+        #[test]
+        fn matches_sorted_reference(mut keys in proptest::collection::vec(-1000i64..1000, 0..400),
+                                    order in 3usize..16) {
+            let mut t = BPlusTree::new(order);
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(*k, i as u32);
+            }
+            t.check_invariants().unwrap();
+            let got: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+            keys.sort_unstable();
+            prop_assert_eq!(got, keys);
+        }
+
+        #[test]
+        fn range_equals_filter(keys in proptest::collection::vec(0i64..200, 1..300),
+                               lo in 0i64..200, width in 0i64..100) {
+            let hi = lo + width;
+            let mut t = BPlusTree::new(6);
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(*k, i as u32);
+            }
+            let got = t.range(&lo, &hi).count();
+            let expect = keys.iter().filter(|k| (lo..=hi).contains(*k)).count();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

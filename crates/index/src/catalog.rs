@@ -1,0 +1,354 @@
+//! The index catalog.
+//!
+//! Tracks every index the service knows about — *potential* (suggested by
+//! an index advisor, not built), partially built, fully built — together
+//! with per-partition creation times `T` and version stamps. Batch
+//! updates to a table partition invalidate the index partitions built on
+//! it (§3: "Indexes built on table partitions that are updated are
+//! deleted and marked as not built").
+
+use std::collections::HashMap;
+
+use flowtune_common::{FileId, IndexId, SimDuration, SimTime};
+
+use crate::model::IndexCostModel;
+
+/// The physical shape of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// B+Tree: supports lookup, range, sort, group, merge join.
+    BTree,
+    /// Hash: supports lookup and hash join only.
+    Hash,
+}
+
+/// Immutable description of one index `idx(t, C, T)`.
+#[derive(Debug, Clone)]
+pub struct IndexSpec {
+    /// Identity.
+    pub id: IndexId,
+    /// The file/table the index is built over.
+    pub file: FileId,
+    /// Indexed column name (single-column indexes, as in the paper's
+    /// evaluation).
+    pub column: String,
+    /// Physical kind.
+    pub kind: IndexKind,
+    /// Cost model (record sizes, fan-out, CPU constant).
+    pub model: IndexCostModel,
+    /// Rows of each table partition, in partition order; index partition
+    /// `i` covers table partition `i`.
+    pub partition_rows: Vec<u64>,
+}
+
+impl IndexSpec {
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partition_rows.len()
+    }
+
+    /// Size in bytes of index partition `part` once built.
+    pub fn partition_bytes(&self, part: usize) -> u64 {
+        self.model.size_bytes(self.partition_rows[part])
+    }
+
+    /// Total size in bytes when fully built.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.partition_count()).map(|p| self.partition_bytes(p)).sum()
+    }
+
+    /// Time to build index partition `part`.
+    pub fn partition_build_time(&self, part: usize) -> SimDuration {
+        self.model.build_time(self.partition_rows[part])
+    }
+
+    /// Total time `ti(idx)` to build every partition sequentially.
+    pub fn total_build_time(&self) -> SimDuration {
+        (0..self.partition_count()).map(|p| self.partition_build_time(p)).sum()
+    }
+}
+
+/// One built index partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltPartition {
+    /// When the partition finished building (an element of the ordered
+    /// creation-time set `T`).
+    pub built_at: SimTime,
+    /// Version of the table partition it was built against.
+    pub version: u32,
+}
+
+/// Mutable state of one index.
+#[derive(Debug, Clone)]
+pub struct IndexState {
+    /// `parts[i]` is `Some` when index partition `i` is currently built.
+    pub parts: Vec<Option<BuiltPartition>>,
+}
+
+impl IndexState {
+    fn new(partitions: usize) -> Self {
+        IndexState { parts: vec![None; partitions] }
+    }
+
+    /// Number of built partitions.
+    pub fn built_count(&self) -> usize {
+        self.parts.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// True when every partition is built.
+    pub fn fully_built(&self) -> bool {
+        self.parts.iter().all(Option::is_some)
+    }
+
+    /// True when no partition is built.
+    pub fn empty(&self) -> bool {
+        self.parts.iter().all(Option::is_none)
+    }
+}
+
+/// The catalog of all indexes known to the service.
+#[derive(Debug, Default)]
+pub struct IndexCatalog {
+    specs: Vec<IndexSpec>,
+    states: Vec<IndexState>,
+    by_file: HashMap<FileId, Vec<IndexId>>,
+}
+
+impl IndexCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an index; its `id` field is overwritten with the assigned
+    /// identity, which is returned.
+    pub fn add(&mut self, mut spec: IndexSpec) -> IndexId {
+        let id = IndexId::from_index(self.specs.len());
+        spec.id = id;
+        self.by_file.entry(spec.file).or_default().push(id);
+        self.states.push(IndexState::new(spec.partition_count()));
+        self.specs.push(spec);
+        id
+    }
+
+    /// All registered index ids.
+    pub fn ids(&self) -> impl Iterator<Item = IndexId> + '_ {
+        (0..self.specs.len()).map(IndexId::from_index)
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Spec of an index.
+    pub fn spec(&self, id: IndexId) -> &IndexSpec {
+        &self.specs[id.index()]
+    }
+
+    /// State of an index.
+    pub fn state(&self, id: IndexId) -> &IndexState {
+        &self.states[id.index()]
+    }
+
+    /// Indexes registered over a file.
+    pub fn indexes_on(&self, file: FileId) -> &[IndexId] {
+        self.by_file.get(&file).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when index partition `part` is built and current.
+    pub fn is_partition_built(&self, id: IndexId, part: usize) -> bool {
+        self.states[id.index()].parts[part].is_some()
+    }
+
+    /// Fraction of partitions currently built, in `[0, 1]`.
+    pub fn built_fraction(&self, id: IndexId) -> f64 {
+        let st = &self.states[id.index()];
+        if st.parts.is_empty() {
+            return 0.0;
+        }
+        st.built_count() as f64 / st.parts.len() as f64
+    }
+
+    /// Record that index partition `part` finished building at `now`
+    /// against table-partition `version`.
+    pub fn mark_built(&mut self, id: IndexId, part: usize, now: SimTime, version: u32) {
+        self.states[id.index()].parts[part] = Some(BuiltPartition { built_at: now, version });
+    }
+
+    /// A batch update bumped `file`'s partition `part` to `new_version`:
+    /// drop every index partition built against an older version.
+    /// Returns `(index, partition, freed_bytes)` for each dropped one.
+    pub fn invalidate_table_partition(
+        &mut self,
+        file: FileId,
+        part: usize,
+        new_version: u32,
+    ) -> Vec<(IndexId, usize, u64)> {
+        let mut dropped = Vec::new();
+        for &id in self.by_file.get(&file).map_or(&[][..], Vec::as_slice) {
+            let state = &mut self.states[id.index()];
+            if part < state.parts.len() {
+                if let Some(built) = state.parts[part] {
+                    if built.version < new_version {
+                        state.parts[part] = None;
+                        dropped.push((id, part, self.specs[id.index()].partition_bytes(part)));
+                    }
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Delete every built partition of an index (it stays registered as a
+    /// *potential* index). Returns the freed bytes.
+    pub fn delete_index(&mut self, id: IndexId) -> u64 {
+        let spec = &self.specs[id.index()];
+        let state = &mut self.states[id.index()];
+        let mut freed = 0;
+        for (part, slot) in state.parts.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                freed += spec.partition_bytes(part);
+            }
+        }
+        freed
+    }
+
+    /// Bytes currently occupied by the built partitions of `id`.
+    pub fn built_bytes(&self, id: IndexId) -> u64 {
+        let spec = &self.specs[id.index()];
+        self.states[id.index()]
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| spec.partition_bytes(i))
+            .sum()
+    }
+
+    /// Bytes currently occupied by all built index partitions.
+    pub fn total_built_bytes(&self) -> u64 {
+        self.ids().map(|id| self.built_bytes(id)).sum()
+    }
+
+    /// Remaining build work for `id`: the unbuilt partitions as
+    /// `(partition ordinal, build time, index-partition bytes)`.
+    pub fn remaining_build_ops(&self, id: IndexId) -> Vec<(usize, SimDuration, u64)> {
+        let spec = &self.specs[id.index()];
+        self.states[id.index()]
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| (i, spec.partition_build_time(i), spec.partition_bytes(i)))
+            .collect()
+    }
+
+    /// Remaining total build time `ti` for the unbuilt partitions of `id`.
+    pub fn remaining_build_time(&self, id: IndexId) -> SimDuration {
+        self.remaining_build_ops(id).iter().map(|(_, t, _)| *t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(file: u32, parts: usize) -> IndexSpec {
+        IndexSpec {
+            id: IndexId(0),
+            file: FileId(file),
+            column: "orderkey".into(),
+            kind: IndexKind::BTree,
+            model: IndexCostModel::new(12.0, 117.0),
+            partition_rows: vec![100_000; parts],
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = IndexCatalog::new();
+        let a = cat.add(spec(0, 3));
+        let b = cat.add(spec(0, 3));
+        let c = cat.add(spec(1, 2));
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.indexes_on(FileId(0)), &[a, b]);
+        assert_eq!(cat.indexes_on(FileId(1)), &[c]);
+        assert!(cat.indexes_on(FileId(9)).is_empty());
+        assert_eq!(cat.spec(a).partition_count(), 3);
+    }
+
+    #[test]
+    fn build_state_machine() {
+        let mut cat = IndexCatalog::new();
+        let id = cat.add(spec(0, 4));
+        assert!(cat.state(id).empty());
+        assert_eq!(cat.built_fraction(id), 0.0);
+        cat.mark_built(id, 1, SimTime::from_secs(10), 0);
+        cat.mark_built(id, 2, SimTime::from_secs(20), 0);
+        assert_eq!(cat.state(id).built_count(), 2);
+        assert!((cat.built_fraction(id) - 0.5).abs() < 1e-12);
+        assert!(cat.is_partition_built(id, 1));
+        assert!(!cat.is_partition_built(id, 0));
+        assert!(!cat.state(id).fully_built());
+        assert_eq!(cat.remaining_build_ops(id).len(), 2);
+    }
+
+    #[test]
+    fn built_bytes_tracks_partitions() {
+        let mut cat = IndexCatalog::new();
+        let id = cat.add(spec(0, 2));
+        assert_eq!(cat.built_bytes(id), 0);
+        cat.mark_built(id, 0, SimTime::ZERO, 0);
+        let per_part = cat.spec(id).partition_bytes(0);
+        assert_eq!(cat.built_bytes(id), per_part);
+        cat.mark_built(id, 1, SimTime::ZERO, 0);
+        assert_eq!(cat.built_bytes(id), cat.spec(id).total_bytes());
+        assert_eq!(cat.total_built_bytes(), cat.built_bytes(id));
+    }
+
+    #[test]
+    fn delete_frees_everything() {
+        let mut cat = IndexCatalog::new();
+        let id = cat.add(spec(0, 2));
+        cat.mark_built(id, 0, SimTime::ZERO, 0);
+        cat.mark_built(id, 1, SimTime::ZERO, 0);
+        let freed = cat.delete_index(id);
+        assert_eq!(freed, cat.spec(id).total_bytes());
+        assert!(cat.state(id).empty());
+        // Idempotent.
+        assert_eq!(cat.delete_index(id), 0);
+    }
+
+    #[test]
+    fn update_invalidates_stale_partitions_only() {
+        let mut cat = IndexCatalog::new();
+        let a = cat.add(spec(0, 3));
+        let b = cat.add(spec(0, 3));
+        cat.mark_built(a, 1, SimTime::ZERO, 0);
+        cat.mark_built(b, 1, SimTime::ZERO, 1); // already built on v1
+        cat.mark_built(a, 2, SimTime::ZERO, 0);
+        let dropped = cat.invalidate_table_partition(FileId(0), 1, 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].0, a);
+        assert!(!cat.is_partition_built(a, 1));
+        assert!(cat.is_partition_built(b, 1));
+        assert!(cat.is_partition_built(a, 2));
+    }
+
+    #[test]
+    fn remaining_build_time_shrinks_as_parts_build() {
+        let mut cat = IndexCatalog::new();
+        let id = cat.add(spec(0, 4));
+        let full = cat.remaining_build_time(id);
+        cat.mark_built(id, 0, SimTime::ZERO, 0);
+        let less = cat.remaining_build_time(id);
+        assert!(less < full);
+        assert_eq!(cat.spec(id).total_build_time(), full);
+    }
+}

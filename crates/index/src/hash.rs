@@ -1,0 +1,171 @@
+//! A from-scratch chained hash index.
+//!
+//! O(1) point lookups (the paper's "Lookup" operator category with a hash
+//! index). Uses FNV-1a hashing and power-of-two bucket counts; buckets are
+//! short `Vec`s of `(key, row)` pairs.
+
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, a small fast hasher — no dependency needed.
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Hash index from keys to row ids; duplicates allowed.
+#[derive(Debug, Clone)]
+pub struct HashIndex<K> {
+    buckets: Vec<Vec<(K, u32)>>,
+    mask: u64,
+    len: usize,
+}
+
+impl<K: Hash + Eq + Clone + Debug> HashIndex<K> {
+    /// Create an index pre-sized for about `expected` entries.
+    pub fn with_capacity(expected: usize) -> Self {
+        // Target load factor ~1 entry per bucket.
+        let buckets = expected.next_power_of_two().max(16);
+        HashIndex { buckets: vec![Vec::new(); buckets], mask: buckets as u64 - 1, len: 0 }
+    }
+
+    /// Build from `(key, row)` pairs.
+    pub fn build(pairs: impl IntoIterator<Item = (K, u32)>) -> Self {
+        let iter = pairs.into_iter();
+        let mut idx = HashIndex::with_capacity(iter.size_hint().0.max(16));
+        for (k, r) in iter {
+            idx.insert(k, r);
+        }
+        idx
+    }
+
+    fn bucket_of(&self, key: &K) -> usize {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        (h.finish() & self.mask) as usize
+    }
+
+    /// Insert one entry.
+    pub fn insert(&mut self, key: K, row: u32) {
+        let b = self.bucket_of(&key);
+        self.buckets[b].push((key, row));
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        let mut next =
+            HashIndex { buckets: vec![Vec::new(); new_size], mask: new_size as u64 - 1, len: 0 };
+        for bucket in self.buckets.drain(..) {
+            for (k, r) in bucket {
+                next.insert(k, r);
+            }
+        }
+        *self = next;
+    }
+
+    /// Row ids of all entries equal to `key`.
+    pub fn get<'a>(&'a self, key: &'a K) -> impl Iterator<Item = u32> + 'a {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, r)| *r)
+    }
+
+    /// First matching row id, if any.
+    pub fn get_first(&self, key: &K) -> Option<u32> {
+        self.get(key).next()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get() {
+        let mut h = HashIndex::with_capacity(4);
+        for i in 0..100i64 {
+            h.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(h.len(), 100);
+        for i in 0..100i64 {
+            assert_eq!(h.get_first(&i), Some((i * 2) as u32));
+        }
+        assert_eq!(h.get_first(&500), None);
+    }
+
+    #[test]
+    fn duplicates() {
+        let h = HashIndex::build([(7i64, 1), (7, 2), (8, 3)]);
+        let mut rows: Vec<u32> = h.get(&7).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, [1, 2]);
+        assert_eq!(h.get(&8).count(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut h = HashIndex::with_capacity(16);
+        for i in 0..10_000i64 {
+            h.insert(i, i as u32);
+        }
+        assert_eq!(h.len(), 10_000);
+        assert_eq!(h.get_first(&9_999), Some(9_999));
+        assert_eq!(h.get_first(&0), Some(0));
+    }
+
+    #[test]
+    fn string_keys() {
+        let h = HashIndex::build([("a".to_owned(), 0), ("b".to_owned(), 1)]);
+        assert_eq!(h.get_first(&"b".to_owned()), Some(1));
+        assert_eq!(h.get_first(&"z".to_owned()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_linear_scan(keys in proptest::collection::vec(0i64..50, 0..300),
+                               probe in 0i64..60) {
+            let h = HashIndex::build(keys.iter().enumerate().map(|(i, k)| (*k, i as u32)));
+            let mut got: Vec<u32> = h.get(&probe).collect();
+            got.sort_unstable();
+            let expect: Vec<u32> = keys.iter().enumerate()
+                .filter(|(_, k)| **k == probe)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

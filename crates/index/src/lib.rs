@@ -1,0 +1,22 @@
+//! # flowtune-index
+//!
+//! Index substrate: a from-scratch B+Tree and hash index (used by
+//! `flowtune-query` to *measure* the speedups of Table 6), the paper's
+//! analytic index size/build-time model (§3, "Data Model"), and the index
+//! catalog that tracks which index partitions exist, when they were built
+//! and which are stale.
+//!
+//! Indexes are **partitioned**: an index over a table consists of one
+//! index partition per table partition, each built by an independent
+//! build operator. This is what lets builds fit in idle schedule slots
+//! and proceed incrementally and in parallel.
+
+pub mod bptree;
+pub mod catalog;
+pub mod hash;
+pub mod model;
+
+pub use bptree::BPlusTree;
+pub use catalog::{IndexCatalog, IndexKind, IndexSpec, IndexState};
+pub use hash::HashIndex;
+pub use model::IndexCostModel;

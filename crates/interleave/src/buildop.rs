@@ -1,0 +1,47 @@
+//! Build-index operators as the interleavers see them.
+
+use flowtune_common::{BuildOpId, OpId, SimDuration};
+use flowtune_sched::BuildRef;
+
+/// Synthetic [`OpId`]s for build operators start here so they can never
+/// collide with dataflow operator ids (dataflows are ~100 operators).
+pub const BUILD_OP_ID_BASE: u32 = 1_000_000;
+
+/// One pending build-index operator: builds one index partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildOp {
+    /// Identity within the pending queue.
+    pub id: BuildOpId,
+    /// The index partition it builds.
+    pub build: BuildRef,
+    /// Estimated build time.
+    pub duration: SimDuration,
+    /// Gain of the index this operator contributes to (Eq. 3), used to
+    /// rank operators inside knapsack packing.
+    pub gain: f64,
+}
+
+impl BuildOp {
+    /// The synthetic schedule-level op id for this build operator.
+    pub fn schedule_op_id(&self) -> OpId {
+        OpId(BUILD_OP_ID_BASE + self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_common::IndexId;
+
+    #[test]
+    fn schedule_ids_are_disjoint_from_dataflow_ids() {
+        let op = BuildOp {
+            id: BuildOpId(5),
+            build: BuildRef { index: IndexId(2), part: 7 },
+            duration: SimDuration::from_secs(10),
+            gain: 1.5,
+        };
+        assert_eq!(op.schedule_op_id(), OpId(BUILD_OP_ID_BASE + 5));
+        assert!(op.schedule_op_id().0 > 100_000);
+    }
+}

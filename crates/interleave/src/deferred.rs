@@ -1,0 +1,197 @@
+//! Deferred batch building — the paper's §7 future work: "building
+//! indexes in a delayed manner for scenarios where idle slots are
+//! short".
+//!
+//! Build operators that do not fit any idle slot accumulate in a
+//! [`DeferredBuildQueue`]. When the total (dollar) gain of the queue
+//! exceeds the price of leasing a dedicated container for the quanta the
+//! batch needs — by a safety factor — the queue flushes into a
+//! [`BatchBuild`]: the operators run back-to-back on a paid container.
+//! Unlike slot interleaving this *does* cost money, but only when the
+//! accumulated gain provably covers it.
+
+use flowtune_common::{pricing, Money, SimDuration};
+
+use crate::buildop::BuildOp;
+
+/// A flushed batch: operators to run back-to-back on a dedicated
+/// container, with its lease length and price.
+#[derive(Debug, Clone)]
+pub struct BatchBuild {
+    /// Operators in descending gain order.
+    pub ops: Vec<BuildOp>,
+    /// Whole quanta the dedicated container must be leased for.
+    pub quanta: u64,
+    /// Lease price.
+    pub cost: Money,
+}
+
+impl BatchBuild {
+    /// Total build time of the batch.
+    pub fn duration(&self) -> SimDuration {
+        self.ops.iter().map(|o| o.duration).sum()
+    }
+}
+
+/// Accumulates unplaceable build operators until a batch pays for
+/// itself.
+#[derive(Debug)]
+pub struct DeferredBuildQueue {
+    pending: Vec<BuildOp>,
+    quantum: SimDuration,
+    vm_price: Money,
+    /// Flush when `total gain >= safety_factor × lease cost`.
+    pub safety_factor: f64,
+}
+
+impl DeferredBuildQueue {
+    /// Create an empty queue for the given billing model.
+    pub fn new(quantum: SimDuration, vm_price: Money) -> Self {
+        DeferredBuildQueue { pending: Vec::new(), quantum, vm_price, safety_factor: 1.5 }
+    }
+
+    /// Add operators that failed to interleave. Duplicates (same build
+    /// ref) keep the higher gain.
+    pub fn defer(&mut self, ops: impl IntoIterator<Item = BuildOp>) {
+        for op in ops {
+            match self.pending.iter_mut().find(|p| p.build == op.build) {
+                Some(existing) => existing.gain = existing.gain.max(op.gain),
+                None => self.pending.push(op),
+            }
+        }
+    }
+
+    /// Remove a build ref (it got built through a slot after all, or its
+    /// index was deleted).
+    pub fn remove(&mut self, build: &flowtune_sched::BuildRef) {
+        self.pending.retain(|p| p.build != *build);
+    }
+
+    /// Queued operators.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Sum of queued gains (dollars).
+    pub fn total_gain(&self) -> f64 {
+        self.pending.iter().map(|p| p.gain).sum()
+    }
+
+    /// Sum of queued build durations.
+    pub fn total_duration(&self) -> SimDuration {
+        self.pending.iter().map(|p| p.duration).sum()
+    }
+
+    /// The lease a full flush would need.
+    pub fn flush_cost(&self) -> Money {
+        let quanta = pricing::quanta_to_cover(self.total_duration(), self.quantum);
+        pricing::compute_cost(quanta, self.vm_price)
+    }
+
+    /// Flush if the accumulated gain covers the dedicated lease by the
+    /// safety factor. Ops are drained in descending gain order; the
+    /// batch fills whole quanta (no point paying for a quantum and
+    /// leaving it idle), so low-gain stragglers may stay queued.
+    pub fn try_flush(&mut self) -> Option<BatchBuild> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let cost = self.flush_cost();
+        if self.total_gain() < self.safety_factor * cost.as_dollars() {
+            return None;
+        }
+        self.pending.sort_by(|a, b| b.gain.total_cmp(&a.gain));
+        let quanta = pricing::quanta_to_cover(self.total_duration(), self.quantum);
+        let budget = self.quantum * quanta;
+        let mut used = SimDuration::ZERO;
+        let mut ops = Vec::new();
+        let mut rest = Vec::new();
+        for op in self.pending.drain(..) {
+            if used + op.duration <= budget {
+                used += op.duration;
+                ops.push(op);
+            } else {
+                rest.push(op);
+            }
+        }
+        self.pending = rest;
+        let quanta = pricing::quanta_to_cover(used, self.quantum);
+        Some(BatchBuild { ops, quanta, cost: pricing::compute_cost(quanta, self.vm_price) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_common::{BuildOpId, IndexId};
+    use flowtune_sched::BuildRef;
+
+    const Q: SimDuration = SimDuration::from_secs(60);
+
+    fn op(i: u32, secs: u64, gain: f64) -> BuildOp {
+        BuildOp {
+            id: BuildOpId(i),
+            build: BuildRef { index: IndexId(i), part: 0 },
+            duration: SimDuration::from_secs(secs),
+            gain,
+        }
+    }
+
+    fn queue() -> DeferredBuildQueue {
+        DeferredBuildQueue::new(Q, Money::from_dollars(0.1))
+    }
+
+    #[test]
+    fn accumulates_until_profitable() {
+        let mut q = queue();
+        // 30 s of builds -> 1 quantum lease = $0.1; threshold 1.5x = $0.15.
+        q.defer([op(0, 30, 0.05)]);
+        assert!(q.try_flush().is_none(), "gain below threshold must not flush");
+        q.defer([op(1, 20, 0.2)]);
+        let batch = q.try_flush().expect("now profitable");
+        assert_eq!(batch.ops.len(), 2);
+        assert_eq!(batch.quanta, 1);
+        assert_eq!(batch.cost, Money::from_dollars(0.1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicates_keep_best_gain() {
+        let mut q = queue();
+        q.defer([op(0, 10, 0.1)]);
+        q.defer([op(0, 10, 0.4)]);
+        assert_eq!(q.len(), 1);
+        assert!((q.total_gain() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_is_gain_ordered_and_quantum_packed() {
+        let mut q = queue();
+        q.defer([op(0, 50, 0.5), op(1, 40, 2.0), op(2, 45, 1.0)]);
+        // 135 s -> 3 quanta ($0.3); gain 3.5 >> 0.45.
+        let batch = q.try_flush().unwrap();
+        let gains: Vec<f64> = batch.ops.iter().map(|o| o.gain).collect();
+        assert_eq!(gains, vec![2.0, 1.0, 0.5]);
+        assert_eq!(batch.quanta, 3);
+    }
+
+    #[test]
+    fn remove_unqueues() {
+        let mut q = queue();
+        q.defer([op(0, 10, 1.0), op(1, 10, 1.0)]);
+        q.remove(&BuildRef { index: IndexId(0), part: 0 });
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_never_flushes() {
+        let mut q = queue();
+        assert!(q.try_flush().is_none());
+        assert_eq!(q.flush_cost(), Money::ZERO);
+    }
+}

@@ -1,0 +1,339 @@
+//! 0/1 knapsack machinery (Algorithm 3 and the §6.4 baselines).
+//!
+//! Packing build operators into one idle slot is a 0/1 knapsack: item
+//! sizes are build durations, item values are index gains, capacity is
+//! the slot length. Algorithm 3 solves the LP relaxation and then a
+//! branch-and-bound search for integral weights; we implement exactly
+//! that — depth-first branch and bound with the fractional (Dantzig)
+//! bound, plus a node budget that degrades gracefully to the greedy
+//! solution on adversarial instances (never reached at the paper's
+//! sizes).
+
+/// Result of a knapsack solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackSolution {
+    /// Indices of the chosen items (into the caller's slices).
+    pub chosen: Vec<usize>,
+    /// Total value of the chosen items.
+    pub value: f64,
+    /// Total size of the chosen items.
+    pub size: u64,
+}
+
+/// Upper bound from the LP relaxation (items sorted by value density,
+/// last item taken fractionally) — the classic Dantzig bound.
+pub fn fractional_upper_bound(capacity: u64, sizes: &[u64], values: &[f64]) -> f64 {
+    assert_eq!(sizes.len(), values.len(), "sizes/values length mismatch");
+    let mut order: Vec<usize> = (0..sizes.len()).filter(|&i| values[i] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        density(values[b], sizes[b]).total_cmp(&density(values[a], sizes[a]))
+    });
+    let mut remaining = capacity;
+    let mut bound = 0.0;
+    for i in order {
+        if sizes[i] == 0 {
+            bound += values[i];
+        } else if sizes[i] <= remaining {
+            bound += values[i];
+            remaining -= sizes[i];
+        } else {
+            bound += values[i] * remaining as f64 / sizes[i] as f64;
+            break;
+        }
+    }
+    bound
+}
+
+fn density(value: f64, size: u64) -> f64 {
+    if size == 0 {
+        f64::INFINITY
+    } else {
+        value / size as f64
+    }
+}
+
+/// Exact 0/1 knapsack via branch and bound with the LP-relaxation bound
+/// (Algorithm 3). Items with non-positive value are never chosen.
+///
+/// `node_budget` caps the search; on exhaustion the best solution found
+/// so far (at least as good as density-greedy) is returned. The default
+/// entry point [`solve_knapsack`] uses a budget far above anything the
+/// paper's instance sizes need.
+pub fn solve_knapsack_budgeted(
+    capacity: u64,
+    sizes: &[u64],
+    values: &[f64],
+    node_budget: usize,
+) -> KnapsackSolution {
+    assert_eq!(sizes.len(), values.len(), "sizes/values length mismatch");
+    // Order by density for tight bounds and a good greedy incumbent;
+    // ties broken towards larger items, which matters on subset-sum-like
+    // instances (equal densities) where big items must be placed first.
+    let mut order: Vec<usize> = (0..sizes.len()).filter(|&i| values[i] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        density(values[b], sizes[b])
+            .total_cmp(&density(values[a], sizes[a]))
+            .then(sizes[b].cmp(&sizes[a]))
+    });
+
+    // Greedy incumbent.
+    let mut best_chosen: Vec<usize> = Vec::new();
+    let mut best_value = 0.0f64;
+    {
+        let mut remaining = capacity;
+        for &i in &order {
+            if sizes[i] <= remaining {
+                best_chosen.push(i);
+                best_value += values[i];
+                remaining -= sizes[i];
+            }
+        }
+    }
+
+    struct Search<'a> {
+        order: &'a [usize],
+        sizes: &'a [u64],
+        values: &'a [f64],
+        best_value: f64,
+        best_chosen: Vec<usize>,
+        stack: Vec<usize>,
+        nodes: usize,
+        budget: usize,
+        /// LP bound at the root; reaching it proves optimality and ends
+        /// the search (crucial for subset-sum-like instances whose equal
+        /// densities defeat bound pruning).
+        root_bound: f64,
+        done: bool,
+    }
+
+    impl Search<'_> {
+        fn bound_from(&self, depth: usize, remaining: u64) -> f64 {
+            let mut cap = remaining;
+            let mut bound = 0.0;
+            for &i in &self.order[depth..] {
+                if self.sizes[i] <= cap {
+                    bound += self.values[i];
+                    cap -= self.sizes[i];
+                } else {
+                    bound += self.values[i] * cap as f64 / self.sizes[i].max(1) as f64;
+                    break;
+                }
+            }
+            bound
+        }
+
+        fn dfs(&mut self, depth: usize, value: f64, remaining: u64) {
+            self.nodes += 1;
+            if self.done || self.nodes > self.budget {
+                return;
+            }
+            if value > self.best_value {
+                self.best_value = value;
+                self.best_chosen = self.stack.clone();
+                if self.best_value + 1e-9 >= self.root_bound {
+                    self.done = true;
+                    return;
+                }
+            }
+            if depth == self.order.len() {
+                return;
+            }
+            if value + self.bound_from(depth, remaining) <= self.best_value {
+                return; // pruned by LP bound
+            }
+            let i = self.order[depth];
+            // Branch: take item i (if it fits), then skip it.
+            if self.sizes[i] <= remaining {
+                self.stack.push(i);
+                self.dfs(depth + 1, value + self.values[i], remaining - self.sizes[i]);
+                self.stack.pop();
+            }
+            self.dfs(depth + 1, value, remaining);
+        }
+    }
+
+    let mut search = Search {
+        order: &order,
+        sizes,
+        values,
+        best_value,
+        best_chosen,
+        stack: Vec::new(),
+        nodes: 0,
+        budget: node_budget,
+        root_bound: 0.0,
+        done: false,
+    };
+    search.root_bound = search.bound_from(0, capacity);
+    if search.best_value + 1e-9 >= search.root_bound {
+        // The greedy incumbent already matches the LP bound.
+        search.done = true;
+    }
+    search.dfs(0, 0.0, capacity);
+    let mut chosen = search.best_chosen;
+    chosen.sort_unstable();
+    let size = chosen.iter().map(|&i| sizes[i]).sum();
+    KnapsackSolution { chosen, value: search.best_value, size }
+}
+
+/// Exact 0/1 knapsack (default node budget of 2 million).
+pub fn solve_knapsack(capacity: u64, sizes: &[u64], values: &[f64]) -> KnapsackSolution {
+    solve_knapsack_budgeted(capacity, sizes, values, 2_000_000)
+}
+
+/// Graham-inspired greedy multi-slot packer (the §6.4 baseline): order
+/// operators by descending duration and assign each to the slot with the
+/// most remaining time; operators that fit nowhere are skipped.
+///
+/// Returns `assignments[i] = Some(slot)` per item and the total value
+/// packed.
+pub fn graham_greedy(slots: &[u64], sizes: &[u64], values: &[f64]) -> (Vec<Option<usize>>, f64) {
+    assert_eq!(sizes.len(), values.len(), "sizes/values length mismatch");
+    let mut remaining: Vec<u64> = slots.to_vec();
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]));
+    let mut assignment = vec![None; sizes.len()];
+    let mut total = 0.0;
+    for i in order {
+        let Some((slot, _)) = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r >= sizes[i])
+            .max_by_key(|(_, r)| **r)
+        else {
+            continue;
+        };
+        remaining[slot] -= sizes[i];
+        assignment[i] = Some(slot);
+        total += values[i];
+    }
+    (assignment, total)
+}
+
+/// Theoretical upper bound used in Fig. 11: merge all idle slots into one
+/// continuous segment and solve a single knapsack over it. No real
+/// packing can beat it because merging only removes fragmentation
+/// constraints.
+pub fn merged_upper_bound(slots: &[u64], sizes: &[u64], values: &[f64]) -> f64 {
+    let capacity: u64 = slots.iter().sum();
+    solve_knapsack(capacity, sizes, values).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn knapsack_known_optimum() {
+        // Classic instance: capacity 10, optimum = items 1+2 (values 9).
+        let sizes = [6, 4, 5, 3];
+        let values = [7.0, 5.0, 4.0, 2.5];
+        let sol = solve_knapsack(10, &sizes, &values);
+        assert_eq!(sol.chosen, vec![0, 1]);
+        assert!((sol.value - 12.0).abs() < 1e-9);
+        assert_eq!(sol.size, 10);
+    }
+
+    #[test]
+    fn knapsack_beats_density_greedy_when_needed() {
+        // Density greedy takes item 0 (density 1.0) and fails; optimum is
+        // items 1+2.
+        let sizes = [10, 6, 5];
+        let values = [10.0, 5.9, 4.9];
+        let sol = solve_knapsack(11, &sizes, &values);
+        assert!((sol.value - 10.8).abs() < 1e-9);
+        assert_eq!(sol.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn nonpositive_values_never_chosen() {
+        let sol = solve_knapsack(100, &[1, 1, 1], &[-1.0, 0.0, 2.0]);
+        assert_eq!(sol.chosen, vec![2]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let sol = solve_knapsack(0, &[1, 2], &[1.0, 2.0]);
+        assert!(sol.chosen.is_empty());
+        assert_eq!(sol.value, 0.0);
+    }
+
+    #[test]
+    fn zero_size_items_are_free() {
+        let sol = solve_knapsack(1, &[0, 5], &[3.0, 10.0]);
+        assert_eq!(sol.chosen, vec![0]);
+    }
+
+    #[test]
+    fn fractional_bound_dominates_integral_optimum() {
+        let sizes = [6, 4, 5, 3];
+        let values = [7.0, 5.0, 4.0, 2.5];
+        let lp = fractional_upper_bound(10, &sizes, &values);
+        let ip = solve_knapsack(10, &sizes, &values).value;
+        assert!(lp >= ip - 1e-9, "LP {lp} < IP {ip}");
+    }
+
+    #[test]
+    fn graham_assigns_to_largest_remaining_slot() {
+        let slots = [10, 6];
+        let sizes = [7, 5, 4];
+        let values = [7.0, 5.0, 4.0];
+        let (assignment, total) = graham_greedy(&slots, &sizes, &values);
+        // 7 -> slot0 (10 left), 5 -> slot1 (6 left), 4 -> none (3,1 left).
+        assert_eq!(assignment, vec![Some(0), Some(1), None]);
+        assert!((total - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_bound_is_at_least_graham() {
+        let slots = [10, 6];
+        let sizes = [7, 5, 4];
+        let values = [7.0, 5.0, 4.0];
+        let (_, graham) = graham_greedy(&slots, &sizes, &values);
+        let ub = merged_upper_bound(&slots, &sizes, &values);
+        assert!(ub >= graham - 1e-9);
+        // Merged capacity 16 fits everything: 16.0.
+        assert!((ub - 16.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn bnb_matches_dp_reference(
+            items in proptest::collection::vec((1u64..30, 0u64..100), 0..14),
+            capacity in 0u64..120,
+        ) {
+            let sizes: Vec<u64> = items.iter().map(|(s, _)| *s).collect();
+            let values: Vec<f64> = items.iter().map(|(_, v)| *v as f64).collect();
+            let sol = solve_knapsack(capacity, &sizes, &values);
+            // Integer DP reference.
+            let cap = capacity as usize;
+            let mut dp = vec![0u64; cap + 1];
+            for i in 0..sizes.len() {
+                let (sz, v) = (sizes[i] as usize, items[i].1);
+                for c in (sz..=cap).rev() {
+                    dp[c] = dp[c].max(dp[c - sz] + v);
+                }
+            }
+            prop_assert!((sol.value - dp[cap] as f64).abs() < 1e-6,
+                "bnb {} vs dp {}", sol.value, dp[cap]);
+            // Chosen set is feasible and value-consistent.
+            let sz: u64 = sol.chosen.iter().map(|&i| sizes[i]).sum();
+            prop_assert!(sz <= capacity);
+            let val: f64 = sol.chosen.iter().map(|&i| values[i]).sum();
+            prop_assert!((val - sol.value).abs() < 1e-6);
+        }
+
+        #[test]
+        fn lp_bound_always_dominates(
+            items in proptest::collection::vec((1u64..30, 0u64..100), 0..12),
+            capacity in 0u64..120,
+        ) {
+            let sizes: Vec<u64> = items.iter().map(|(s, _)| *s).collect();
+            let values: Vec<f64> = items.iter().map(|(_, v)| *v as f64).collect();
+            let lp = fractional_upper_bound(capacity, &sizes, &values);
+            let ip = solve_knapsack(capacity, &sizes, &values).value;
+            prop_assert!(lp >= ip - 1e-6);
+        }
+    }
+}

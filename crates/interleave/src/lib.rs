@@ -1,0 +1,33 @@
+//! # flowtune-interleave
+//!
+//! Index-build interleaving: packing build-index operators into the idle
+//! slots of dataflow execution schedules without affecting the dataflow's
+//! execution time or monetary cost (§5.3).
+//!
+//! Two algorithms, as in the paper:
+//!
+//! * **LP-based interleaving** ([`lp::LpInterleaver`], Algorithm 2) —
+//!   schedule the dataflow first, enumerate the idle slots largest-first,
+//!   and solve a 0/1 knapsack per slot (Algorithm 3: LP relaxation +
+//!   branch and bound) to pick the build operators that maximise total
+//!   gain.
+//! * **Online interleaving** ([`online::OnlineInterleaver`], §5.3.2) —
+//!   extend the skyline scheduler with *optional* operators scheduled
+//!   along the dataflow.
+//!
+//! Plus the evaluation baselines of §6.4: a Graham-style greedy packer
+//! and the merged-slot knapsack upper bound.
+
+pub mod buildop;
+pub mod deferred;
+pub mod knapsack;
+pub mod lp;
+pub mod online;
+
+pub use buildop::{BuildOp, BUILD_OP_ID_BASE};
+pub use deferred::{BatchBuild, DeferredBuildQueue};
+pub use knapsack::{
+    fractional_upper_bound, graham_greedy, merged_upper_bound, solve_knapsack, KnapsackSolution,
+};
+pub use lp::LpInterleaver;
+pub use online::OnlineInterleaver;

@@ -1,0 +1,122 @@
+//! Online interleaving — §5.3.2.
+//!
+//! A thin orchestration layer over
+//! [`SkylineScheduler::schedule_with_optional`]: build operators are
+//! marked *optional* and scheduled together with the dataflow operators.
+//! Compared with LP interleaving, the fragmentation information is not
+//! available up front, so fewer build operators get placed (Fig. 8) —
+//! but the optional operators participate in skyline tie-breaking, which
+//! can steer the search to different (sometimes cheaper) schedules.
+
+use flowtune_dataflow::Dag;
+use flowtune_sched::{OptionalOp, Schedule, SkylineScheduler};
+
+use crate::buildop::BuildOp;
+
+/// The online interleaver.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineInterleaver {
+    /// The underlying skyline scheduler.
+    pub scheduler: SkylineScheduler,
+}
+
+impl OnlineInterleaver {
+    /// Create an online interleaver around a configured scheduler.
+    pub fn new(scheduler: SkylineScheduler) -> Self {
+        OnlineInterleaver { scheduler }
+    }
+
+    /// Schedule the dataflow and the pending build operators together.
+    /// Build operators are offered in decreasing gain order.
+    pub fn schedule(&self, dag: &Dag, pending: &[BuildOp]) -> Vec<Schedule> {
+        let mut ranked: Vec<&BuildOp> = pending.iter().collect();
+        ranked.sort_by(|a, b| b.gain.total_cmp(&a.gain));
+        let optional: Vec<OptionalOp> = ranked
+            .iter()
+            .map(|b| OptionalOp {
+                op: b.schedule_op_id(),
+                duration: b.duration,
+                build: b.build,
+            })
+            .collect();
+        self.scheduler.schedule_with_optional(dag, &optional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LpInterleaver;
+    use flowtune_common::{BuildOpId, IndexId, SimDuration, SimRng};
+    use flowtune_dataflow::App;
+    use flowtune_sched::BuildRef;
+
+    fn pending(n: u32) -> Vec<BuildOp> {
+        (0..n)
+            .map(|i| BuildOp {
+                id: BuildOpId(i),
+                build: BuildRef { index: IndexId(i / 4), part: i % 4 },
+                duration: SimDuration::from_secs(4 + (i as u64 * 7) % 25),
+                gain: 1.0 + (i as f64 * 0.37) % 5.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_schedules_are_valid_and_carry_builds() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let dag = App::Montage.generate(100, &[], &mut rng);
+        let il = OnlineInterleaver::default();
+        let skyline = il.schedule(&dag, &pending(40));
+        assert!(!skyline.is_empty());
+        let mut any_builds = 0usize;
+        for s in &skyline {
+            s.validate(&dag).unwrap();
+            any_builds += s.build_assignments().count();
+        }
+        assert!(any_builds > 0, "online interleaving never placed a build op");
+    }
+
+    #[test]
+    fn lp_places_at_least_as_many_as_online_on_same_schedule_count() {
+        // The paper's Fig. 8 observation: LP sees the fragmentation up
+        // front and schedules significantly more build operators.
+        let mut rng = SimRng::seed_from_u64(7);
+        let dag = App::Montage.generate(100, &[], &mut rng);
+        let ops = pending(60);
+
+        let il = OnlineInterleaver::default();
+        let online_best = il
+            .schedule(&dag, &ops)
+            .iter()
+            .map(|s| s.build_assignments().count())
+            .max()
+            .unwrap();
+
+        let mut lp_skyline = il.scheduler.schedule(&dag);
+        let lp = LpInterleaver::new(il.scheduler.config.quantum);
+        let lp_best = lp
+            .interleave_skyline(&mut lp_skyline, &ops)
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap();
+        assert!(
+            lp_best >= online_best,
+            "LP placed {lp_best}, online placed {online_best}"
+        );
+    }
+
+    #[test]
+    fn empty_pending_degenerates_to_plain_scheduling() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let dag = App::Ligo.generate(60, &[], &mut rng);
+        let il = OnlineInterleaver::default();
+        let a = il.schedule(&dag, &[]);
+        let b = il.scheduler.schedule(&dag);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.makespan(), y.makespan());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Equi-join operators.
+//!
+//! The paper's "Join" category: nested loops, hash join, sort-merge join,
+//! and the indexed variant — a merge join reading both sides from B+Trees
+//! in key order, `O(n + m)` when the inputs are (index-)sorted.
+
+use flowtune_index::BPlusTree;
+use std::collections::HashMap;
+
+/// Nested-loops equi-join: `(left_row, right_row)` for equal keys.
+/// O(n·m) — the baseline the paper's complexity table implies.
+pub fn nested_loop_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            if a == b {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Hash equi-join (build on the smaller side is the caller's choice;
+/// this builds on `left`).
+pub fn hash_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
+    let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (i, k) in left.iter().enumerate() {
+        table.entry(*k).or_default().push(i as u32);
+    }
+    let mut out = Vec::new();
+    for (j, k) in right.iter().enumerate() {
+        if let Some(ls) = table.get(k) {
+            for &i in ls {
+                out.push((i, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Sort-merge join: sorts both inputs, then merges. `O(n log n + m log m)`.
+pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
+    let mut l: Vec<(i64, u32)> = left.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+    let mut r: Vec<(i64, u32)> = right.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+    l.sort_unstable();
+    r.sort_unstable();
+    merge_sorted(&l, &r)
+}
+
+/// Merge join over two B+Trees: both sides stream out already sorted, so
+/// the join is `O(n + m)` — the indexed fast path.
+pub fn index_merge_join(left: &BPlusTree<i64>, right: &BPlusTree<i64>) -> Vec<(u32, u32)> {
+    let l: Vec<(i64, u32)> = left.iter().map(|(k, r)| (*k, r)).collect();
+    let r: Vec<(i64, u32)> = right.iter().map(|(k, r)| (*k, r)).collect();
+    merge_sorted(&l, &r)
+}
+
+/// Merge two key-sorted `(key, row)` runs, emitting the cross product of
+/// each equal-key group.
+fn merge_sorted(l: &[(i64, u32)], r: &[(i64, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = l[i].0;
+                let i_end = i + l[i..].iter().take_while(|(k, _)| *k == key).count();
+                let j_end = j + r[j..].iter().take_while(|(k, _)| *k == key).count();
+                for &(_, lr) in &l[i..i_end] {
+                    for &(_, rr) in &r[j..j_end] {
+                        out.push((lr, rr));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn btree_of(col: &[i64]) -> BPlusTree<i64> {
+        let mut pairs: Vec<(i64, u32)> =
+            col.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+        pairs.sort_unstable();
+        BPlusTree::bulk_build(4, &pairs)
+    }
+
+    fn normalize(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn simple_join() {
+        let l = [1i64, 2, 3];
+        let r = [2i64, 3, 4, 3];
+        let expect = normalize(vec![(1, 0), (2, 1), (2, 3)]);
+        assert_eq!(normalize(nested_loop_join(&l, &r)), expect);
+        assert_eq!(normalize(hash_join(&l, &r)), expect);
+        assert_eq!(normalize(sort_merge_join(&l, &r)), expect);
+        assert_eq!(normalize(index_merge_join(&btree_of(&l), &btree_of(&r))), expect);
+    }
+
+    #[test]
+    fn duplicate_heavy_join_is_cross_product_per_key() {
+        let l = [7i64, 7];
+        let r = [7i64, 7, 7];
+        assert_eq!(nested_loop_join(&l, &r).len(), 6);
+        assert_eq!(hash_join(&l, &r).len(), 6);
+        assert_eq!(sort_merge_join(&l, &r).len(), 6);
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_nothing() {
+        let l = [1i64, 2];
+        let r = [3i64, 4];
+        assert!(nested_loop_join(&l, &r).is_empty());
+        assert!(index_merge_join(&btree_of(&l), &btree_of(&r)).is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(hash_join(&[], &[1]).is_empty());
+        assert!(sort_merge_join(&[1], &[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn all_join_algorithms_agree(
+            l in proptest::collection::vec(0i64..20, 0..60),
+            r in proptest::collection::vec(0i64..20, 0..60),
+        ) {
+            let expect = normalize(nested_loop_join(&l, &r));
+            prop_assert_eq!(normalize(hash_join(&l, &r)), expect.clone());
+            prop_assert_eq!(normalize(sort_merge_join(&l, &r)), expect.clone());
+            prop_assert_eq!(
+                normalize(index_merge_join(&btree_of(&l), &btree_of(&r))),
+                expect
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # flowtune-query
+//!
+//! Physical query operators executed against real data, with and without
+//! indexes. The paper grounds its index-speedup model in four measured
+//! query classes on TPC-H `lineitem` (Table 6: order-by 7.44×, large
+//! range 94×, small range 307×, lookup 627×); this crate reproduces those
+//! measurements on the synthetic `lineitem` of `flowtune-storage` and the
+//! B+Tree/hash indexes of `flowtune-index`.
+//!
+//! The five operator categories of the paper's §1 are covered:
+//!
+//! | Category     | No-index path              | Indexed path                  |
+//! |--------------|----------------------------|-------------------------------|
+//! | Lookup       | full scan                  | B+Tree / hash probe           |
+//! | Range select | full scan with predicate   | B+Tree range scan             |
+//! | Sorting      | comparison argsort         | B+Tree in-order traversal     |
+//! | Grouping     | sort-based grouping        | B+Tree ordered grouping       |
+//! | Join         | nested loops / sort-merge  | merge join over two B+Trees   |
+
+pub mod group;
+pub mod join;
+pub mod lookup;
+pub mod plan;
+pub mod sort;
+pub mod table6;
+pub mod timer;
+
+pub use plan::{choose, what_if_speedup, AccessPath, AvailableIndexes, Predicate, TableStats};
+pub use table6::{measure_table6, SpeedupRow};

@@ -1,0 +1,530 @@
+//! The skyline (Pareto) dataflow scheduler — Algorithm 4.
+//!
+//! Operators are assigned in dependency order; after each assignment the
+//! set of non-dominated partial schedules over (execution time, monetary
+//! cost) is recomputed. Between schedules equal in both objectives, the
+//! one with the most sequential idle compute time wins (idle slots are
+//! where index builds go); when optional build operators are offered
+//! (§5.3.2, online interleaving), schedules with more operators win ties
+//! instead.
+//!
+//! Two pragmatic bounds keep the exponential search tractable, both
+//! standard for this scheduler family: candidate containers are the
+//! already-used ones plus one fresh container (symmetry breaking), and
+//! the skyline is capped at [`SchedulerConfig::max_skyline`] schedules
+//! (evenly spaced along the time axis, extremes always kept).
+
+use flowtune_common::{ContainerId, Money, OpId, SimDuration, SimTime};
+use flowtune_dataflow::Dag;
+
+use crate::schedule::{Assignment, BuildRef, Schedule};
+
+/// Scheduler parameters.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Maximum containers a schedule may lease (Table 3: 100).
+    pub max_containers: u32,
+    /// Skyline width cap.
+    pub max_skyline: usize,
+    /// Billing quantum.
+    pub quantum: SimDuration,
+    /// Per-quantum VM price.
+    pub vm_price: Money,
+    /// Network bandwidth (bytes/s) for inter-container edge transfers.
+    pub network_bandwidth: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_containers: 100,
+            max_skyline: 24,
+            quantum: SimDuration::from_secs(60),
+            vm_price: Money::from_dollars(0.1),
+            network_bandwidth: 1e9 / 8.0,
+        }
+    }
+}
+
+/// An optional build-index operator offered to the online interleaving
+/// variant of the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct OptionalOp {
+    /// Synthetic id (must not collide with dataflow op ids).
+    pub op: OpId,
+    /// Estimated build duration.
+    pub duration: SimDuration,
+    /// What it builds.
+    pub build: BuildRef,
+}
+
+/// The skyline dataflow scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SkylineScheduler {
+    /// Configuration.
+    pub config: SchedulerConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    assignments: Vec<Assignment>,
+    /// Next free time per used container.
+    container_free: Vec<SimTime>,
+    /// Span of *dataflow* ops per container (billing basis).
+    container_span: Vec<(SimTime, SimTime)>,
+    /// Next free time per container counting optional (build) tail ops.
+    opt_free: Vec<SimTime>,
+    /// End time of each dataflow op assigned so far (ZERO = unassigned).
+    op_end: Vec<SimTime>,
+    /// Container of each dataflow op.
+    op_container: Vec<u32>,
+    makespan: SimDuration,
+    optional_count: usize,
+    /// Order-sensitive hash of the dataflow assignments; equal hashes =>
+    /// identical dataflow skeletons (optional ops excluded).
+    skeleton: u64,
+}
+
+impl Partial {
+    fn new(n_ops: usize) -> Self {
+        Partial {
+            assignments: Vec::new(),
+            container_free: Vec::new(),
+            container_span: Vec::new(),
+            opt_free: Vec::new(),
+            op_end: vec![SimTime::ZERO; n_ops],
+            op_container: vec![u32::MAX; n_ops],
+            makespan: SimDuration::ZERO,
+            optional_count: 0,
+            skeleton: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn money_quanta(&self, quantum: SimDuration) -> u64 {
+        self.container_span
+            .iter()
+            .filter(|(s, e)| e > s)
+            .map(|(s, e)| {
+                let lease_start = s.quantum_floor(quantum);
+                let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+                (lease_end - lease_start).as_millis() / quantum.as_millis()
+            })
+            .sum()
+    }
+
+    /// Longest single idle gap across containers (tie-break criterion).
+    fn longest_sequential_idle(&self, quantum: SimDuration) -> SimDuration {
+        let mut best = SimDuration::ZERO;
+        for (c, &(s, e)) in self.container_span.iter().enumerate() {
+            if e <= s {
+                continue;
+            }
+            let lease_start = s.quantum_floor(quantum);
+            let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+            // Dataflow assignments only: optional build ops are
+            // preemptible filler and must not perturb the tie-break
+            // (otherwise offering optional ops could steer the search to
+            // a different dataflow skeleton and regress the front).
+            let mut ops: Vec<(SimTime, SimTime)> = self
+                .assignments
+                .iter()
+                .filter(|a| a.container.index() == c && a.build.is_none())
+                .map(|a| (a.start, a.end))
+                .collect();
+            ops.sort_unstable();
+            let mut cursor = lease_start;
+            for (os, oe) in ops {
+                if os > cursor {
+                    best = best.max(os - cursor);
+                }
+                cursor = cursor.max(oe);
+            }
+            if lease_end > cursor {
+                best = best.max(lease_end - cursor);
+            }
+        }
+        best
+    }
+}
+
+impl SkylineScheduler {
+    /// Create a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        SkylineScheduler { config }
+    }
+
+    /// Schedule a dataflow, returning the skyline of non-dominated
+    /// schedules sorted by ascending execution time.
+    pub fn schedule(&self, dag: &Dag) -> Vec<Schedule> {
+        self.schedule_with_optional(dag, &[])
+    }
+
+    /// Schedule a dataflow while opportunistically placing optional
+    /// build operators (the online interleaving algorithm of §5.3.2).
+    /// Optional operators never delay dataflow operators in surviving
+    /// schedules: a schedule where one did is dominated by its sibling
+    /// without the operator.
+    pub fn schedule_with_optional(&self, dag: &Dag, optional: &[OptionalOp]) -> Vec<Schedule> {
+        if dag.is_empty() {
+            return vec![Schedule::new()];
+        }
+        let order = dag.topo_order();
+        let n = order.len();
+        let mut skyline = vec![Partial::new(dag.len())];
+        // Offer optional ops evenly across the assignment steps.
+        let mut next_opt = 0usize;
+        for (step, &op) in order.iter().enumerate() {
+            // Expand every partial with every candidate container.
+            let mut expanded: Vec<Partial> = Vec::new();
+            for p in &skyline {
+                let used = p.container_free.len();
+                let candidates =
+                    if (used as u32) < self.config.max_containers { used + 1 } else { used };
+                for c in 0..candidates {
+                    expanded.push(self.assign_dataflow_op(p, dag, op, c));
+                }
+            }
+            skyline = self.reduce(expanded);
+            // Offer a proportional share of the optional queue.
+            let opt_until = optional.len() * (step + 1) / n;
+            while next_opt < opt_until {
+                skyline = self.offer_optional(skyline, &optional[next_opt]);
+                next_opt += 1;
+            }
+        }
+        while next_opt < optional.len() {
+            skyline = self.offer_optional(skyline, &optional[next_opt]);
+            next_opt += 1;
+        }
+        let quantum = self.config.quantum;
+        skyline.sort_by_key(|p| (p.makespan, p.money_quanta(quantum)));
+        skyline
+            .into_iter()
+            .map(|p| Schedule::from_assignments(p.assignments))
+            .collect()
+    }
+
+    fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.config.network_bandwidth)
+    }
+
+    fn assign_dataflow_op(&self, p: &Partial, dag: &Dag, op: OpId, c: usize) -> Partial {
+        let mut q = p.clone();
+        if c == q.container_free.len() {
+            q.container_free.push(SimTime::ZERO);
+            q.container_span.push((SimTime::MAX, SimTime::ZERO));
+            q.opt_free.push(SimTime::ZERO);
+        }
+        // Data-ready: every predecessor done, plus transfer when remote.
+        let mut ready = SimTime::ZERO;
+        for &pred in dag.preds(op) {
+            let mut t = q.op_end[pred.index()];
+            if q.op_container[pred.index()] != c as u32 {
+                t += self.transfer_time(dag.edge_bytes(pred, op));
+            }
+            ready = ready.max(t);
+        }
+        // Dataflow ops see only other dataflow ops: an optional build op
+        // occupying the container is preempted (priority -1 in the
+        // execution model), so it never delays the dataflow.
+        let start = ready.max(q.container_free[c]);
+        let end = start + dag.op(op).runtime;
+        // Preempt optional tail ops that would overlap: drop the ones not
+        // yet started, truncation of a running one is the simulator's
+        // business (here the partial build contributes nothing).
+        q.assignments.retain(|a| {
+            !(a.build.is_some() && a.container.index() == c && a.end > start)
+        });
+        q.optional_count =
+            q.assignments.iter().filter(|a| a.build.is_some()).count();
+        q.assignments.push(Assignment {
+            op,
+            container: ContainerId(c as u32),
+            start,
+            end,
+            build: None,
+        });
+        q.container_free[c] = end;
+        q.opt_free[c] = q.opt_free[c].max(end);
+        let (s, e) = q.container_span[c];
+        q.container_span[c] = (s.min(start), e.max(end));
+        q.op_end[op.index()] = end;
+        q.op_container[op.index()] = c as u32;
+        q.makespan = q.makespan.max(end - SimTime::ZERO);
+        for word in [op.0 as u64, c as u64, start.as_millis()] {
+            q.skeleton ^= word;
+            q.skeleton = q.skeleton.wrapping_mul(0x1000_0000_01b3);
+        }
+        q
+    }
+
+    /// Union each partial with versions that place `opt` on some
+    /// container's free tail inside the current leased span.
+    fn offer_optional(&self, skyline: Vec<Partial>, opt: &OptionalOp) -> Vec<Partial> {
+        let quantum = self.config.quantum;
+        let mut out = Vec::with_capacity(skyline.len() * 2);
+        for p in &skyline {
+            for c in 0..p.container_free.len() {
+                let (s, e) = p.container_span[c];
+                if e <= s {
+                    continue;
+                }
+                let lease_start = s.quantum_floor(quantum);
+                let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+                let start = p.opt_free[c].max(p.container_free[c]);
+                let end = start + opt.duration;
+                if end <= lease_end {
+                    let mut q = p.clone();
+                    q.assignments.push(Assignment {
+                        op: opt.op,
+                        container: ContainerId(c as u32),
+                        start,
+                        end,
+                        build: Some(opt.build),
+                    });
+                    q.opt_free[c] = end;
+                    q.optional_count += 1;
+                    out.push(q);
+                }
+            }
+        }
+        out.extend(skyline);
+        self.reduce(out)
+    }
+
+    /// Skyline reduction: collapse equal (time, money) groups with the
+    /// tie-break (more operators, then most sequential idle), drop
+    /// dominated partials, cap the width.
+    fn reduce(&self, mut partials: Vec<Partial>) -> Vec<Partial> {
+        let quantum = self.config.quantum;
+        partials.sort_by_key(|p| (p.makespan, p.money_quanta(quantum)));
+        // Collapse ties.
+        let mut collapsed: Vec<Partial> = Vec::new();
+        for p in partials {
+            match collapsed.last_mut() {
+                Some(last)
+                    if last.makespan == p.makespan
+                        && last.money_quanta(quantum) == p.money_quanta(quantum) =>
+                {
+                    // Primary tie-break: most sequential idle over the
+                    // dataflow skeleton (as the plain scheduler). Only
+                    // between skeleton-equivalent candidates does the
+                    // optional-operator count decide (§5.3.2).
+                    let p_idle = p.longest_sequential_idle(quantum);
+                    let last_idle = last.longest_sequential_idle(quantum);
+                    let better = match p_idle.cmp(&last_idle) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        // The operator count only decides between
+                        // *identical* dataflow skeletons; across different
+                        // skeletons we keep the incumbent exactly as the
+                        // plain scheduler would, so offering optional ops
+                        // never changes how the front evolves.
+                        std::cmp::Ordering::Equal => {
+                            p.skeleton == last.skeleton
+                                && p.optional_count > last.optional_count
+                        }
+                    };
+                    if better {
+                        *last = p;
+                    }
+                }
+                _ => collapsed.push(p),
+            }
+        }
+        // Drop dominated: sorted by time asc, keep strictly decreasing money.
+        let mut front: Vec<Partial> = Vec::new();
+        let mut best_money = u64::MAX;
+        for p in collapsed {
+            let m = p.money_quanta(quantum);
+            if m < best_money {
+                best_money = m;
+                front.push(p);
+            }
+        }
+        // Cap width, keeping extremes and an even spread.
+        if front.len() > self.config.max_skyline {
+            let n = front.len();
+            let keep: Vec<usize> = (0..self.config.max_skyline)
+                .map(|i| i * (n - 1) / (self.config.max_skyline - 1))
+                .collect();
+            let mut kept = Vec::with_capacity(self.config.max_skyline);
+            let mut front_iter = front.into_iter().enumerate();
+            let mut keep_iter = keep.into_iter().peekable();
+            for (i, p) in front_iter.by_ref() {
+                if keep_iter.peek() == Some(&i) {
+                    kept.push(p);
+                    keep_iter.next();
+                }
+            }
+            front = kept;
+        }
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_common::IndexId;
+    use flowtune_common::SimRng;
+    use flowtune_dataflow::{App, Edge, OpSpec};
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::default()
+    }
+
+    fn op(i: u32, secs: u64) -> OpSpec {
+        OpSpec::new(OpId(i), format!("op{i}"), SimDuration::from_secs(secs))
+    }
+
+    /// Fork-join: 0 -> {1,2,3} -> 4.
+    fn fork_join() -> Dag {
+        Dag::new(
+            vec![op(0, 10), op(1, 30), op(2, 30), op(3, 30), op(4, 10)],
+            vec![
+                Edge { from: OpId(0), to: OpId(1), bytes: 0 },
+                Edge { from: OpId(0), to: OpId(2), bytes: 0 },
+                Edge { from: OpId(0), to: OpId(3), bytes: 0 },
+                Edge { from: OpId(1), to: OpId(4), bytes: 0 },
+                Edge { from: OpId(2), to: OpId(4), bytes: 0 },
+                Edge { from: OpId(3), to: OpId(4), bytes: 0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn skyline_schedules_are_valid() {
+        let sched = SkylineScheduler::new(cfg());
+        let dag = fork_join();
+        let skyline = sched.schedule(&dag);
+        assert!(!skyline.is_empty());
+        for s in &skyline {
+            s.validate(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn skyline_is_nondominated_and_sorted() {
+        let sched = SkylineScheduler::new(cfg());
+        let skyline = sched.schedule(&fork_join());
+        let pts: Vec<(SimDuration, u64)> = skyline
+            .iter()
+            .map(|s| (s.makespan(), s.leased_quanta(SimDuration::from_secs(60))))
+            .collect();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0, "time must strictly increase: {pts:?}");
+            assert!(w[0].1 > w[1].1, "money must strictly decrease: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn fork_join_extremes() {
+        let sched = SkylineScheduler::new(cfg());
+        let skyline = sched.schedule(&fork_join());
+        // Fastest: 3 parallel branches -> 10 + 30 + 10 = 50 s.
+        let fastest = skyline.first().unwrap();
+        assert_eq!(fastest.makespan(), SimDuration::from_secs(50));
+        // Cheapest end of the front: the partial-schedule skyline is a
+        // heuristic (prefixes of the globally cheapest schedule can be
+        // dominated mid-search), so assert a bound rather than the
+        // 2-quanta optimum.
+        let cheapest = skyline.last().unwrap();
+        assert!(cheapest.leased_quanta(SimDuration::from_secs(60)) <= 3);
+        assert!(
+            cheapest.leased_quanta(SimDuration::from_secs(60))
+                <= skyline[0].leased_quanta(SimDuration::from_secs(60))
+        );
+    }
+
+    #[test]
+    fn communication_cost_discourages_pointless_spread() {
+        // 0 -> 1 with a huge edge: remote placement adds transfer time.
+        let dag = Dag::new(
+            vec![op(0, 10), op(1, 10)],
+            vec![Edge { from: OpId(0), to: OpId(1), bytes: 5_000_000_000 }],
+        )
+        .unwrap();
+        let sched = SkylineScheduler::new(cfg());
+        let skyline = sched.schedule(&dag);
+        // The fastest schedule co-locates: makespan exactly 20 s.
+        assert_eq!(skyline[0].makespan(), SimDuration::from_secs(20));
+        assert_eq!(skyline[0].containers().len(), 1);
+    }
+
+    #[test]
+    fn respects_max_containers() {
+        let mut c = cfg();
+        c.max_containers = 2;
+        let sched = SkylineScheduler::new(c);
+        let skyline = sched.schedule(&fork_join());
+        for s in &skyline {
+            assert!(s.containers().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn skyline_width_is_capped() {
+        let mut c = cfg();
+        c.max_skyline = 3;
+        let sched = SkylineScheduler::new(c);
+        let mut rng = SimRng::seed_from_u64(1);
+        let dag = App::Montage.generate(60, &[], &mut rng);
+        let skyline = sched.schedule(&dag);
+        assert!(skyline.len() <= 3);
+        for s in &skyline {
+            s.validate(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn scales_to_100_op_scientific_dataflows() {
+        let sched = SkylineScheduler::new(cfg());
+        let mut rng = SimRng::seed_from_u64(2);
+        for app in App::ALL {
+            let dag = app.generate(100, &[], &mut rng);
+            let skyline = sched.schedule(&dag);
+            assert!(!skyline.is_empty(), "{}", app.name());
+            for s in &skyline {
+                s.validate(&dag).unwrap();
+                assert!(s.makespan() >= dag.critical_path(), "{}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn optional_ops_never_hurt_time_or_money() {
+        let sched = SkylineScheduler::new(cfg());
+        let dag = fork_join();
+        let baseline = sched.schedule(&dag);
+        let optional: Vec<OptionalOp> = (0..6)
+            .map(|i| OptionalOp {
+                op: OpId(1000 + i),
+                duration: SimDuration::from_secs(8),
+                build: BuildRef { index: IndexId(i), part: 0 },
+            })
+            .collect();
+        let with_opt = sched.schedule_with_optional(&dag, &optional);
+        // Pareto front must not regress.
+        let q = SimDuration::from_secs(60);
+        for b in &baseline {
+            let covered = with_opt.iter().any(|s| {
+                s.makespan() <= b.makespan() && s.leased_quanta(q) <= b.leased_quanta(q)
+            });
+            assert!(covered, "optional ops regressed the skyline");
+        }
+        // And at least one schedule carries build ops.
+        let built: usize = with_opt.iter().map(|s| s.build_assignments().count()).max().unwrap();
+        assert!(built > 0, "no optional op was ever placed");
+    }
+
+    #[test]
+    fn empty_dag_yields_empty_schedule() {
+        let sched = SkylineScheduler::new(cfg());
+        let dag = Dag::new(vec![], vec![]).unwrap();
+        let skyline = sched.schedule(&dag);
+        assert_eq!(skyline.len(), 1);
+        assert!(skyline[0].is_empty());
+    }
+}

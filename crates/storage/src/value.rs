@@ -1,0 +1,113 @@
+//! Dynamically-typed scalar values.
+//!
+//! Row-oriented access used by tests, examples and small queries; the hot
+//! paths in `flowtune-query` operate on [`crate::column::ColumnData`]
+//! directly.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Date as days since 1970-01-01.
+    Date(i32),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// Total order between values of the *same* variant; `None` when the
+    /// variants differ (heterogeneous comparison is a logic error the
+    /// caller should surface, not silently order).
+    pub fn try_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::I32(a), Value::I32(b)) => Some(a.cmp(b)),
+            (Value::I64(a), Value::I64(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::F64(a), Value::F64(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+
+    /// On-disk size of this value in bytes (textual encoding for dates,
+    /// matching the schema statistics).
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            Value::I32(_) => 4,
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Date(_) => 10,
+            Value::Str(s) => s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Date(d) => write!(f, "date({d})"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_comparisons() {
+        assert_eq!(Value::I64(1).try_cmp(&Value::I64(2)), Some(Ordering::Less));
+        assert_eq!(Value::from("b").try_cmp(&Value::from("a")), Some(Ordering::Greater));
+        assert_eq!(Value::Date(10).try_cmp(&Value::Date(10)), Some(Ordering::Equal));
+        assert_eq!(Value::F64(1.5).try_cmp(&Value::F64(1.5)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_none() {
+        assert_eq!(Value::I32(1).try_cmp(&Value::I64(1)), None);
+        assert_eq!(Value::F64(f64::NAN).try_cmp(&Value::F64(0.0)), None);
+    }
+
+    #[test]
+    fn encoded_sizes() {
+        assert_eq!(Value::I32(7).encoded_bytes(), 4);
+        assert_eq!(Value::Date(0).encoded_bytes(), 10);
+        assert_eq!(Value::from("hello").encoded_bytes(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! The historical dataflow list `Hd`.
+
+use std::collections::HashMap;
+
+use flowtune_common::{DataflowId, IndexId, SimDuration, SimTime};
+
+use crate::gain::GainContribution;
+
+/// One executed dataflow with its per-index gains.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The dataflow.
+    pub dataflow: DataflowId,
+    /// When it finished executing.
+    pub finished_at: SimTime,
+    /// `idx -> (gtd, gmd)` in quanta, for every index the dataflow uses.
+    pub index_gains: HashMap<IndexId, (f64, f64)>,
+}
+
+/// The list of historical dataflows.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    entries: Vec<HistoryEntry>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a finished dataflow. Entries may arrive slightly out of
+    /// time order (concurrently executing dataflows finish in any
+    /// order); the list is kept sorted by finish time.
+    pub fn record(&mut self, entry: HistoryEntry) {
+        let pos = self
+            .entries
+            .partition_point(|e| e.finished_at <= entry.finished_at);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Number of recorded dataflows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has executed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Contributions of `idx` from dataflows inside the window
+    /// `[t − W, t]` (δ of Eq. 4/5), as gain-model inputs.
+    pub fn contributions(
+        &self,
+        idx: IndexId,
+        now: SimTime,
+        window: SimDuration,
+        quantum: SimDuration,
+    ) -> Vec<GainContribution> {
+        let cutoff = if window.as_millis() >= now.as_millis() {
+            SimTime::ZERO
+        } else {
+            now - window
+        };
+        self.entries
+            .iter()
+            .rev()
+            .take_while(|e| e.finished_at >= cutoff)
+            .filter(|e| e.finished_at <= now)
+            .filter_map(|e| {
+                e.index_gains.get(&idx).map(|&(gtd, gmd)| GainContribution {
+                    quanta_ago: now.saturating_since(e.finished_at).as_quanta(quantum),
+                    gtd,
+                    gmd,
+                })
+            })
+            .collect()
+    }
+
+    /// Drop entries older than `t − keep` (memory bound for long runs).
+    pub fn prune(&mut self, now: SimTime, keep: SimDuration) {
+        let cutoff = if keep.as_millis() >= now.as_millis() {
+            SimTime::ZERO
+        } else {
+            now - keep
+        };
+        self.entries.retain(|e| e.finished_at >= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: SimDuration = SimDuration::from_secs(60);
+
+    fn entry(df: u32, finished_secs: u64, gains: &[(u32, f64, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            dataflow: DataflowId(df),
+            finished_at: SimTime::from_secs(finished_secs),
+            index_gains: gains
+                .iter()
+                .map(|&(i, gt, gm)| (IndexId(i), (gt, gm)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn window_filters_old_entries() {
+        let mut h = History::new();
+        h.record(entry(0, 60, &[(1, 1.0, 2.0)]));
+        h.record(entry(1, 300, &[(1, 3.0, 4.0)]));
+        h.record(entry(2, 500, &[(2, 9.0, 9.0)]));
+        // Window of 5 quanta (300 s) at t = 540 s covers [240, 540].
+        let c = h.contributions(IndexId(1), SimTime::from_secs(540), Q * 5, Q);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].gtd, 3.0);
+        assert!((c[0].quanta_ago - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexes_not_used_by_a_dataflow_contribute_nothing() {
+        let mut h = History::new();
+        h.record(entry(0, 60, &[(1, 1.0, 2.0)]));
+        assert!(h
+            .contributions(IndexId(9), SimTime::from_secs(100), Q * 10, Q)
+            .is_empty());
+    }
+
+    #[test]
+    fn window_larger_than_elapsed_time_covers_everything() {
+        let mut h = History::new();
+        h.record(entry(0, 10, &[(1, 1.0, 1.0)]));
+        h.record(entry(1, 20, &[(1, 2.0, 2.0)]));
+        let c = h.contributions(IndexId(1), SimTime::from_secs(30), Q * 1000, Q);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_recording_keeps_entries_sorted() {
+        let mut h = History::new();
+        h.record(entry(0, 100, &[(1, 1.0, 1.0)]));
+        h.record(entry(1, 50, &[(1, 2.0, 2.0)]));
+        h.record(entry(2, 75, &[(1, 3.0, 3.0)]));
+        let times: Vec<_> = h.entries().iter().map(|e| e.finished_at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn prune_bounds_memory() {
+        let mut h = History::new();
+        for i in 0..100u32 {
+            h.record(entry(i, (i as u64 + 1) * 10, &[(1, 1.0, 1.0)]));
+        }
+        h.prune(SimTime::from_secs(1000), SimDuration::from_secs(200));
+        assert!(h.len() <= 21);
+        assert!(h.entries().iter().all(|e| e.finished_at >= SimTime::from_secs(800)));
+    }
+}

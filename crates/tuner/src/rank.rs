@@ -1,0 +1,68 @@
+//! Index ranking in the 2-D gain space (§5.1, Fig. 4).
+//!
+//! Indexes are points in the `(gt, gm)` plane. Only those with both
+//! gains positive are beneficial; among them, higher weighted gain `g`
+//! (whose iso-lines have slope set by α) ranks first.
+
+use flowtune_common::IndexId;
+
+use crate::gain::IndexGains;
+
+/// Rank indexes: keep the beneficial ones, sort by descending `g`.
+pub fn rank_indexes(gains: &[(IndexId, IndexGains)]) -> Vec<(IndexId, IndexGains)> {
+    let mut beneficial: Vec<(IndexId, IndexGains)> =
+        gains.iter().filter(|(_, g)| g.is_beneficial()).copied().collect();
+    beneficial.sort_by(|a, b| b.1.g.total_cmp(&a.1.g).then(a.0.cmp(&b.0)));
+    beneficial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(gt: f64, gm: f64, weighted: f64) -> IndexGains {
+        IndexGains { gt, gm, g: weighted }
+    }
+
+    #[test]
+    fn filters_non_beneficial_quadrants() {
+        // Fig. 4: X1..X4 live outside the positive quadrant.
+        let pts = vec![
+            (IndexId(0), g(1.0, 1.0, 2.0)),   // beneficial
+            (IndexId(1), g(-1.0, 1.0, 0.5)),  // X: negative time gain
+            (IndexId(2), g(1.0, -1.0, 0.5)),  // X: negative money gain
+            (IndexId(3), g(-1.0, -1.0, -2.0)),// X: both negative
+            (IndexId(4), g(0.0, 1.0, 0.5)),   // boundary: not beneficial
+        ];
+        let ranked = rank_indexes(&pts);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].0, IndexId(0));
+    }
+
+    #[test]
+    fn sorts_by_weighted_gain_descending() {
+        let pts = vec![
+            (IndexId(0), g(1.0, 1.0, 1.0)),
+            (IndexId(1), g(2.0, 2.0, 5.0)),
+            (IndexId(2), g(3.0, 0.5, 3.0)),
+        ];
+        let ranked = rank_indexes(&pts);
+        let ids: Vec<IndexId> = ranked.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![IndexId(1), IndexId(2), IndexId(0)]);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let pts = vec![
+            (IndexId(7), g(1.0, 1.0, 2.0)),
+            (IndexId(3), g(1.0, 1.0, 2.0)),
+        ];
+        let ranked = rank_indexes(&pts);
+        assert_eq!(ranked[0].0, IndexId(3));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rank_indexes(&[]).is_empty());
+    }
+}

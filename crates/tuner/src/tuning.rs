@@ -1,0 +1,249 @@
+//! Online index tuning — Algorithm 1.
+//!
+//! Triggered every time a dataflow is issued or finishes (and
+//! periodically when idle): compute the gain of every candidate index
+//! over the historical window plus the queued dataflow, rank the
+//! beneficial ones for interleaving, and mark the built indexes whose
+//! gain has gone non-positive for deletion.
+
+use std::collections::HashMap;
+
+use flowtune_common::{IndexId, SimTime};
+use flowtune_index::IndexCatalog;
+
+use crate::adaptive::AdaptiveFading;
+use crate::gain::{GainModel, IndexGains};
+use crate::history::History;
+use crate::rank::rank_indexes;
+
+/// What the tuner decided at one trigger point.
+#[derive(Debug, Clone, Default)]
+pub struct TuningDecision {
+    /// Beneficial indexes, best first — the candidates to interleave
+    /// with the queued dataflow (Alg. 1 lines 2–9).
+    pub beneficial: Vec<(IndexId, IndexGains)>,
+    /// Built indexes whose gain is non-positive — to delete (lines
+    /// 13–19).
+    pub deletions: Vec<IndexId>,
+}
+
+/// The online tuner: gain model plus workload history.
+#[derive(Debug)]
+pub struct OnlineTuner {
+    /// The gain model.
+    pub model: GainModel,
+    /// The historical dataflows `Hd`.
+    pub history: History,
+    /// Optional per-index fading learner (§7 future work); when absent
+    /// the global `D` of the gain model applies.
+    pub adaptive: Option<AdaptiveFading>,
+}
+
+impl OnlineTuner {
+    /// Create a tuner with the global fading controller.
+    pub fn new(model: GainModel) -> Self {
+        OnlineTuner { model, history: History::new(), adaptive: None }
+    }
+
+    /// Create a tuner that learns a fading controller per index.
+    pub fn with_adaptive_fading(model: GainModel) -> Self {
+        let adaptive = AdaptiveFading::new(model.tuner.fading_d, model.quantum);
+        OnlineTuner { model, history: History::new(), adaptive: Some(adaptive) }
+    }
+
+    /// Record that the (just-issued) dataflow uses these indexes — feeds
+    /// the adaptive fading learner; a no-op without one.
+    pub fn observe_uses(&mut self, indexes: &[flowtune_common::IndexId], now: SimTime) {
+        if let Some(adaptive) = &mut self.adaptive {
+            for idx in indexes {
+                adaptive.record_use(*idx, now);
+            }
+        }
+    }
+
+    /// Gains of one index at `now`, over the history window plus the
+    /// estimated gains of the queued and currently *running* dataflows
+    /// (`extras`, each at `δT = 0` per Eq. 4/5).
+    pub fn gains_of(
+        &self,
+        idx: IndexId,
+        now: SimTime,
+        catalog: &IndexCatalog,
+        extras: &[(f64, f64)],
+    ) -> IndexGains {
+        let window = self.model.quantum.mul_f64(self.model.tuner.window_w);
+        let mut contributions =
+            self.history.contributions(idx, now, window, self.model.quantum);
+        for &(gtd, gmd) in extras {
+            contributions.push(crate::gain::GainContribution { quanta_ago: 0.0, gtd, gmd });
+        }
+        let remaining_build =
+            catalog.remaining_build_time(idx).as_quanta(self.model.quantum);
+        let d = self
+            .adaptive
+            .as_ref()
+            .map_or(self.model.tuner.fading_d, |a| a.d_for(idx));
+        self.model.evaluate_with_d(
+            &contributions,
+            remaining_build,
+            catalog.spec(idx).total_bytes(),
+            d,
+        )
+    }
+
+    /// Run one tuning step (Alg. 1): `active` carries the per-index gain
+    /// estimates of the queued dataflow *and* every currently running
+    /// dataflow — all contribute at `δT = 0` (empty when triggered
+    /// periodically with nothing queued or running).
+    pub fn decide(
+        &self,
+        now: SimTime,
+        catalog: &IndexCatalog,
+        active: &[&HashMap<IndexId, (f64, f64)>],
+    ) -> TuningDecision {
+        let mut all: Vec<(IndexId, IndexGains)> = Vec::with_capacity(catalog.len());
+        let mut extras: Vec<(f64, f64)> = Vec::new();
+        for idx in catalog.ids() {
+            extras.clear();
+            extras.extend(active.iter().filter_map(|m| m.get(&idx).copied()));
+            let gains = self.gains_of(idx, now, catalog, &extras);
+            all.push((idx, gains));
+        }
+        let beneficial = rank_indexes(&all);
+        let deletions = all
+            .iter()
+            .filter(|(idx, g)| {
+                g.is_deletable() && !catalog.state(*idx).empty()
+            })
+            .map(|(idx, _)| *idx)
+            .collect();
+        TuningDecision { beneficial, deletions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryEntry;
+    use flowtune_common::{
+        DataflowId, FileId, Money, SimDuration, TunerConfig,
+    };
+    use flowtune_index::{IndexCostModel, IndexKind, IndexSpec};
+
+    fn small_catalog(n: usize) -> IndexCatalog {
+        let mut cat = IndexCatalog::new();
+        for i in 0..n {
+            cat.add(IndexSpec {
+                id: IndexId(0),
+                file: FileId(i as u32),
+                column: "orderkey".into(),
+                kind: IndexKind::BTree,
+                model: IndexCostModel::new(12.0, 117.0),
+                partition_rows: vec![200_000; 2],
+            });
+        }
+        cat
+    }
+
+    fn tuner() -> OnlineTuner {
+        OnlineTuner::new(GainModel::new(
+            TunerConfig { alpha: 0.5, fading_d: 1.0, window_w: 10.0, storage_window_w: 10.0 },
+            SimDuration::from_secs(60),
+            Money::from_dollars(0.1),
+            Money::from_dollars(1e-4),
+        ))
+    }
+
+    #[test]
+    fn cold_start_builds_nothing_and_deletes_nothing() {
+        let t = tuner();
+        let cat = small_catalog(4);
+        let d = t.decide(SimTime::ZERO, &cat, &[]);
+        assert!(d.beneficial.is_empty());
+        assert!(d.deletions.is_empty(), "unbuilt indexes are never 'deleted'");
+    }
+
+    #[test]
+    fn queued_dataflow_makes_its_index_beneficial() {
+        let t = tuner();
+        let cat = small_catalog(4);
+        let current = HashMap::from([(IndexId(2), (5.0, 4.0))]);
+        let d = t.decide(SimTime::ZERO, &cat, &[&current]);
+        assert_eq!(d.beneficial.len(), 1);
+        assert_eq!(d.beneficial[0].0, IndexId(2));
+    }
+
+    #[test]
+    fn history_keeps_indexes_beneficial_until_they_fade() {
+        let mut t = tuner();
+        let mut cat = small_catalog(2);
+        cat.mark_built(IndexId(0), 0, SimTime::ZERO, 0);
+        cat.mark_built(IndexId(0), 1, SimTime::ZERO, 0);
+        t.history.record(HistoryEntry {
+            dataflow: DataflowId(0),
+            finished_at: SimTime::from_secs(60),
+            index_gains: HashMap::from([(IndexId(0), (6.0, 6.0))]),
+        });
+        // Shortly after: still beneficial (built => no build cost).
+        let d = t.decide(SimTime::from_secs(120), &cat, &[]);
+        assert!(d.beneficial.iter().any(|(i, _)| *i == IndexId(0)));
+        assert!(d.deletions.is_empty());
+        // At 8 quanta the money gain has faded below the storage cost
+        // (e^-8 * 6 ≈ 0.002), so the index is no longer beneficial — but
+        // gt is still marginally positive, so it is not yet deleted.
+        let d = t.decide(SimTime::from_secs(60 * 9), &cat, &[]);
+        assert!(!d.beneficial.iter().any(|(i, _)| *i == IndexId(0)));
+        assert!(!d.deletions.contains(&IndexId(0)));
+        // Once the contribution leaves the W = 10 quanta window entirely,
+        // both gains are non-positive and the built index is deleted.
+        let d = t.decide(SimTime::from_secs(60 * 12), &cat, &[]);
+        assert!(d.deletions.contains(&IndexId(0)), "faded built index is deleted");
+    }
+
+    #[test]
+    fn adaptive_fading_keeps_slow_reused_indexes_alive() {
+        // An index reused every 5 quanta: with the global D = 1 its gain
+        // at a 5-quanta gap is dead (e^-5); the adaptive learner sets
+        // D ~ 7.5 and keeps it warm.
+        let mut global = tuner();
+        let mut adaptive = OnlineTuner::with_adaptive_fading(global.model.clone());
+        let mut cat = small_catalog(1);
+        cat.mark_built(IndexId(0), 0, SimTime::ZERO, 0);
+        cat.mark_built(IndexId(0), 1, SimTime::ZERO, 0);
+        for k in 0..6u64 {
+            let at = SimTime::from_secs(60 * 5 * k);
+            let entry = HistoryEntry {
+                dataflow: DataflowId(k as u32),
+                finished_at: at,
+                index_gains: HashMap::from([(IndexId(0), (6.0, 6.0))]),
+            };
+            global.history.record(entry.clone());
+            adaptive.history.record(entry);
+            adaptive.observe_uses(&[IndexId(0)], at);
+        }
+        let now = SimTime::from_secs(60 * 5 * 5 + 60 * 4); // 4q after last use
+        let g_global = global.gains_of(IndexId(0), now, &cat, &[]);
+        let g_adaptive = adaptive.gains_of(IndexId(0), now, &cat, &[]);
+        assert!(
+            g_adaptive.g > g_global.g,
+            "adaptive {} must beat global {}",
+            g_adaptive.g,
+            g_global.g
+        );
+        assert!(g_adaptive.is_beneficial());
+    }
+
+    #[test]
+    fn ranking_prefers_higher_gain_indexes() {
+        let t = tuner();
+        let cat = small_catalog(3);
+        let current = HashMap::from([
+            (IndexId(0), (2.0, 2.0)),
+            (IndexId(1), (9.0, 9.0)),
+            (IndexId(2), (4.0, 4.0)),
+        ]);
+        let d = t.decide(SimTime::ZERO, &cat, &[&current]);
+        let ids: Vec<IndexId> = d.beneficial.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![IndexId(1), IndexId(2), IndexId(0)]);
+    }
+}

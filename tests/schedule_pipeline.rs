@@ -1,0 +1,137 @@
+//! Integration tests of the planning pipeline across crates:
+//! dataflow generation → skyline scheduling → idle-slot analysis →
+//! interleaving → simulation, checking the paper's core invariant at
+//! every step: interleaving never costs the dataflow time or money.
+
+use std::collections::HashMap;
+
+use flowtune_cloud::{IndexAvailability, Simulator};
+use flowtune_common::{
+    BuildOpId, CloudConfig, ExperimentParams, IndexId, Money, SimDuration, SimRng,
+};
+use flowtune_core::experiment::ExperimentSetup;
+use flowtune_dataflow::App;
+use flowtune_interleave::{BuildOp, LpInterleaver, OnlineInterleaver};
+use flowtune_sched::{
+    idle_slots, total_fragmentation, BuildRef, SkylineScheduler,
+};
+
+fn pending_ops(n: u32) -> Vec<BuildOp> {
+    (0..n)
+        .map(|i| BuildOp {
+            id: BuildOpId(i),
+            build: BuildRef { index: IndexId(i / 3), part: i % 3 },
+            duration: SimDuration::from_secs(3 + (i as u64 * 7) % 20),
+            gain: 0.5 + (i as f64 * 0.31) % 3.0,
+        })
+        .collect()
+}
+
+#[test]
+fn lp_interleaving_preserves_time_and_money_for_every_app() {
+    let setup = ExperimentSetup::new(ExperimentParams::default());
+    let quantum = setup.params.cloud.quantum;
+    let vm_price = setup.params.cloud.vm_price_per_quantum;
+    let scheduler = SkylineScheduler::new(setup.scheduler_config(6));
+    let mut rng = SimRng::seed_from_u64(11);
+    for app in App::ALL {
+        let dag = app.generate(100, &[], &mut rng);
+        for mut schedule in scheduler.schedule(&dag) {
+            let time = schedule.makespan();
+            let money = schedule.money(quantum, vm_price);
+            LpInterleaver::new(quantum).interleave(&mut schedule, &pending_ops(60));
+            assert_eq!(schedule.makespan(), time, "{}", app.name());
+            assert_eq!(schedule.money(quantum, vm_price), money, "{}", app.name());
+            schedule.validate(&dag).unwrap();
+        }
+    }
+}
+
+#[test]
+fn interleaved_builds_fit_inside_former_idle_slots() {
+    let setup = ExperimentSetup::new(ExperimentParams::default());
+    let quantum = setup.params.cloud.quantum;
+    let scheduler = SkylineScheduler::new(setup.scheduler_config(6));
+    let mut rng = SimRng::seed_from_u64(12);
+    let dag = App::Montage.generate(100, &[], &mut rng);
+    let mut schedule = scheduler.schedule(&dag).remove(0);
+    let slots_before = idle_slots(&schedule, quantum);
+    LpInterleaver::new(quantum).interleave(&mut schedule, &pending_ops(80));
+    for b in schedule.build_assignments() {
+        let inside = slots_before.iter().any(|s| {
+            s.container == b.container && b.start >= s.start && b.end <= s.end
+        });
+        assert!(inside, "build {} escaped the idle slots", b.op);
+    }
+}
+
+#[test]
+fn simulation_of_interleaved_schedule_matches_plan_without_errors() {
+    // With exact estimates, the simulated dataflow must be at least as
+    // fast as planned (it repacks greedily) and cost no more.
+    let setup = ExperimentSetup::new(ExperimentParams::default());
+    let cloud: CloudConfig = setup.params.cloud.clone();
+    let scheduler = SkylineScheduler::new(setup.scheduler_config(6));
+    let mut rng = SimRng::seed_from_u64(13);
+    for app in App::ALL {
+        let dag = app.generate(100, &[], &mut rng);
+        let mut schedule = scheduler.schedule(&dag).remove(0);
+        LpInterleaver::new(cloud.quantum).interleave(&mut schedule, &pending_ops(40));
+        let sim = Simulator::new(cloud.clone(), &setup.filedb);
+        let exec = sim.execute(
+            &dag,
+            &schedule,
+            &[],
+            &IndexAvailability::new(),
+            &HashMap::new(),
+        );
+        assert!(
+            exec.makespan <= schedule.makespan(),
+            "{}: simulated {} > planned {}",
+            app.name(),
+            exec.makespan,
+            schedule.makespan()
+        );
+        let planned_money = schedule.money(cloud.quantum, cloud.vm_price_per_quantum);
+        assert!(
+            exec.compute_cost <= planned_money,
+            "{}: simulated {} > planned {}",
+            app.name(),
+            exec.compute_cost,
+            planned_money
+        );
+    }
+}
+
+#[test]
+fn online_interleaver_also_preserves_the_pareto_front() {
+    let setup = ExperimentSetup::new(ExperimentParams::default());
+    let quantum = setup.params.cloud.quantum;
+    let scheduler = SkylineScheduler::new(setup.scheduler_config(6));
+    let mut rng = SimRng::seed_from_u64(14);
+    let dag = App::Ligo.generate(100, &[], &mut rng);
+    let plain = scheduler.schedule(&dag);
+    let interleaved = OnlineInterleaver::new(scheduler.clone()).schedule(&dag, &pending_ops(50));
+    for p in &plain {
+        let covered = interleaved.iter().any(|s| {
+            s.makespan() <= p.makespan() && s.leased_quanta(quantum) <= p.leased_quanta(quantum)
+        });
+        assert!(covered, "online interleaving regressed the front");
+    }
+}
+
+#[test]
+fn fragmentation_shrinks_but_never_below_zero() {
+    let setup = ExperimentSetup::new(ExperimentParams::default());
+    let quantum = setup.params.cloud.quantum;
+    let scheduler = SkylineScheduler::new(setup.scheduler_config(6));
+    let mut rng = SimRng::seed_from_u64(15);
+    let dag = App::Cybershake.generate(100, &[], &mut rng);
+    let mut schedule = scheduler.schedule(&dag).remove(0);
+    let before = total_fragmentation(&schedule, quantum);
+    LpInterleaver::new(quantum).interleave(&mut schedule, &pending_ops(120));
+    let after = total_fragmentation(&schedule, quantum);
+    assert!(after <= before);
+    assert!(after >= SimDuration::ZERO);
+    assert!(schedule.money(quantum, Money::from_dollars(0.1)) > Money::ZERO);
+}
