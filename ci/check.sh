@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from the repository root:
+#
+#   ./ci/check.sh
+#
+# Every step runs with --offline: the workspace has a strict
+# zero-external-dependency policy (DESIGN §7), so a checkout with no
+# network and no registry cache must build, test, and verify cleanly.
+# A step that would touch the network is itself a policy violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> flowtune-analyze (workspace invariants)"
+cargo run -q --offline -p flowtune-analyze
+
+echo "All checks passed."

@@ -1,0 +1,58 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p flowtune-analyze            # analyze this workspace
+//! cargo run -p flowtune-analyze -- <root>  # analyze another tree
+//! cargo run -p flowtune-analyze -- --rules # list rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "flowtune-analyze: workspace invariant checker\n\n\
+             usage: flowtune-analyze [--rules] [ROOT]\n\n\
+             Scans ROOT (default: this workspace) and reports violations of the\n\
+             determinism, ordered-iteration, panic-hygiene, newtype-discipline,\n\
+             and dep-hygiene rules. Waive a false positive in place with\n\
+             `// flowtune-allow(<rule>): <reason>`."
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in flowtune_analyze::all_rules() {
+            println!("{:<20} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(flowtune_analyze::workspace_root);
+
+    match flowtune_analyze::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("flowtune-analyze: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("\nflowtune-analyze: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!(
+                "flowtune-analyze: i/o error scanning {}: {e}",
+                root.display()
+            );
+            ExitCode::from(2)
+        }
+    }
+}

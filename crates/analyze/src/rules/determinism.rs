@@ -1,0 +1,80 @@
+//! Rule `determinism`: the simulator must be a pure function of its
+//! seed and config (DESIGN §2 — "All randomness is seeded → runs are
+//! reproducible"). Ambient entropy, wall clocks, and environment
+//! variables are the three ways nondeterminism leaks into a run, so all
+//! three are banned outside an explicit allowlist:
+//!
+//! - `crates/query/src/timer.rs` legitimately wall-clocks the Table 6
+//!   query micro-benchmarks (real elapsed time is the measurement);
+//! - `crates/bench/` is measurement tooling, not simulation;
+//! - `crates/analyze/` is this tool.
+
+use super::{Emitter, Rule};
+use crate::scan::{contains_token, SourceFile};
+use crate::workspace::CrateInfo;
+
+/// Workspace-relative path prefixes exempt from this rule.
+const ALLOWED_PREFIXES: &[&str] = &[
+    "crates/query/src/timer.rs",
+    "crates/bench/",
+    "crates/analyze/",
+];
+
+/// Banned tokens and what to use instead.
+const BANNED: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "seed a SimRng from the experiment config instead of ambient entropy",
+    ),
+    (
+        "from_entropy",
+        "seed a SimRng from the experiment config instead of ambient entropy",
+    ),
+    (
+        "ThreadRng",
+        "seed a SimRng from the experiment config instead of ambient entropy",
+    ),
+    (
+        "Instant",
+        "wall-clock time is nondeterministic; use SimTime driven by the event loop",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time is nondeterministic; use SimTime driven by the event loop",
+    ),
+    (
+        "std::env",
+        "environment lookups make runs host-dependent; thread config through ExperimentConfig",
+    ),
+];
+
+#[derive(Debug)]
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid ambient entropy, wall clocks, and env lookups outside the allowlist"
+    }
+
+    fn check_file(&self, _krate: &CrateInfo, file: &SourceFile, em: &mut Emitter<'_>) {
+        if ALLOWED_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
+            return;
+        }
+        for (idx, code) in file.code_lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for (token, hint) in BANNED {
+                // `Instant` bans both the import and the call site; the
+                // word-boundary match keeps `instant`-like identifiers safe.
+                if contains_token(code, token) {
+                    em.emit(file, idx, format!("banned `{token}`: {hint}"));
+                }
+            }
+        }
+    }
+}

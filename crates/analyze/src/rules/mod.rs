@@ -1,0 +1,102 @@
+//! The pluggable rule set.
+//!
+//! A rule is a stateless checker over a loaded [`CrateInfo`]. File-level
+//! rules implement [`Rule::check_file`] and are invoked once per source
+//! file; crate-level rules (dep-hygiene) implement [`Rule::check_crate`].
+//! Waivers are honoured by the engine: a rule reports a candidate via
+//! [`Emitter::emit`], which drops it silently when the line carries a
+//! `// flowtune-allow(<rule>): <reason>` waiver.
+
+use crate::scan::SourceFile;
+use crate::workspace::CrateInfo;
+
+mod dep_hygiene;
+mod determinism;
+mod newtype;
+mod ordered_iteration;
+mod panic_hygiene;
+
+pub use dep_hygiene::DepHygiene;
+pub use determinism::Determinism;
+pub use newtype::NewtypeDiscipline;
+pub use ordered_iteration::OrderedIteration;
+pub use panic_hygiene::PanicHygiene;
+
+/// One reported violation, pointing at a workspace-relative file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Waiver-aware diagnostic sink handed to rules.
+#[derive(Debug)]
+pub struct Emitter<'a> {
+    rule: &'static str,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl<'a> Emitter<'a> {
+    pub fn new(rule: &'static str, out: &'a mut Vec<Diagnostic>) -> Emitter<'a> {
+        Emitter { rule, out }
+    }
+
+    /// Report a violation at 0-based `line_idx` of `file`, unless waived.
+    pub fn emit(&mut self, file: &SourceFile, line_idx: usize, message: String) {
+        if file.is_waived(self.rule, line_idx) {
+            return;
+        }
+        self.out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: line_idx + 1,
+            rule: self.rule,
+            message,
+        });
+    }
+
+    /// Report a violation not tied to a source file (e.g. a manifest).
+    pub fn emit_raw(&mut self, file: String, line: usize, message: String) {
+        self.out.push(Diagnostic {
+            file,
+            line,
+            rule: self.rule,
+            message,
+        });
+    }
+}
+
+/// A single invariant checker.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `flowtune-analyze --rules`.
+    fn description(&self) -> &'static str;
+
+    fn check_file(&self, _krate: &CrateInfo, _file: &SourceFile, _em: &mut Emitter<'_>) {}
+
+    fn check_crate(&self, _krate: &CrateInfo, _em: &mut Emitter<'_>) {}
+}
+
+/// The full rule registry, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(OrderedIteration),
+        Box::new(PanicHygiene),
+        Box::new(NewtypeDiscipline),
+        Box::new(DepHygiene),
+    ]
+}

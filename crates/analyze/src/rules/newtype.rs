@@ -1,0 +1,111 @@
+//! Rule `newtype-discipline`: money and simulated time are newtypes in
+//! `flowtune-common` (`Money`, `SimTime`, `Quanta`) precisely so that
+//! dollars never add to seconds. A raw `f64` annotated binding or field
+//! whose name says it holds money or time re-opens that hole. The rule
+//! is an identifier heuristic: it flags `name: f64` where `name`
+//! contains a money/time word, outside `flowtune-common` itself (which
+//! defines the newtypes and their internals).
+
+use super::{Emitter, Rule};
+use crate::scan::{FileKind, SourceFile};
+use crate::workspace::CrateInfo;
+
+/// Identifier fragments that mark a quantity as money or time.
+const QUANTITY_WORDS: &[&str] = &[
+    "cost", "price", "money", "dollar", "budget", "quanta", "time",
+];
+
+/// Crates exempt from the rule: `flowtune-common` defines the newtypes;
+/// the analyzer has no money/time quantities.
+const EXEMPT_CRATES: &[&str] = &["flowtune-common", "flowtune-analyze"];
+
+#[derive(Debug)]
+pub struct NewtypeDiscipline;
+
+impl Rule for NewtypeDiscipline {
+    fn name(&self) -> &'static str {
+        "newtype-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "flag raw `f64` money/time bindings; use Money/SimTime/Quanta newtypes"
+    }
+
+    fn check_file(&self, krate: &CrateInfo, file: &SourceFile, em: &mut Emitter<'_>) {
+        if EXEMPT_CRATES.contains(&krate.name.as_str()) || file.kind == FileKind::Test {
+            return;
+        }
+        for (idx, code) in file.code_lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for ident in f64_annotated_idents(code) {
+                let lower = ident.to_ascii_lowercase();
+                if QUANTITY_WORDS.iter().any(|w| lower.contains(w)) {
+                    em.emit(
+                        file,
+                        idx,
+                        format!(
+                            "`{ident}: f64` looks like a money/time quantity; \
+                             use Money, SimTime, or Quanta from flowtune-common"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers annotated `ident: f64` on this line (bindings, fields, or
+/// parameters — anywhere the annotation form appears).
+fn f64_annotated_idents(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("f64") {
+        let abs = search + pos;
+        search = abs + 3;
+        // Must be the token `f64`, not e.g. `uf64`.
+        let after = code[abs + 3..].chars().next();
+        if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let before = &code[..abs];
+        let before_trim = before.trim_end();
+        let Some(rest) = before_trim.strip_suffix(':') else {
+            continue;
+        };
+        let rest = rest.trim_end();
+        let ident: String = rest
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if !ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            out.push(ident);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_annotated_idents() {
+        assert_eq!(
+            f64_annotated_idents("let build_cost: f64 = 3.0;"),
+            ["build_cost"]
+        );
+        assert_eq!(
+            f64_annotated_idents("fn f(price_per_hour: f64, n: u64)"),
+            ["price_per_hour"]
+        );
+        assert_eq!(f64_annotated_idents("pub total_time: f64,"), ["total_time"]);
+        assert!(f64_annotated_idents("let x = y as f64;").is_empty());
+        assert!(f64_annotated_idents("Vec<f64>").is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Rule `ordered-iteration`: `HashMap`/`HashSet` iteration order is
+//! unspecified, so any hash collection whose contents reach scheduling
+//! decisions or experiment output silently breaks run-to-run
+//! reproducibility (Figs. 6–14 are all produced by replaying seeds).
+//! In the crates on the simulation output path the rule bans hash
+//! collections outright, steering to `BTreeMap`/`BTreeSet` (or a sorted
+//! `Vec`); genuinely order-free uses can carry a waiver.
+
+use super::{Emitter, Rule};
+use crate::scan::{contains_token, FileKind, SourceFile};
+use crate::workspace::CrateInfo;
+
+/// Crates whose state feeds schedules, costs, or reports.
+const ORDERED_CRATES: &[&str] = &[
+    "flowtune-sched",
+    "flowtune-cloud",
+    "flowtune-tuner",
+    "flowtune-interleave",
+    "flowtune-core",
+];
+
+const BANNED: &[&str] = &["HashMap", "HashSet"];
+
+#[derive(Debug)]
+pub struct OrderedIteration;
+
+impl Rule for OrderedIteration {
+    fn name(&self) -> &'static str {
+        "ordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid HashMap/HashSet in crates on the simulation output path"
+    }
+
+    fn check_file(&self, krate: &CrateInfo, file: &SourceFile, em: &mut Emitter<'_>) {
+        if !ORDERED_CRATES.contains(&krate.name.as_str()) || file.kind == FileKind::Test {
+            return;
+        }
+        for (idx, code) in file.code_lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for token in BANNED {
+                if contains_token(code, token) {
+                    em.emit(
+                        file,
+                        idx,
+                        format!(
+                            "`{token}` iteration order is unspecified and can leak into \
+                             schedules/reports; use BTree{} or a sorted Vec",
+                            &token[4..]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

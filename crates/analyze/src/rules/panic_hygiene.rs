@@ -1,0 +1,81 @@
+//! Rule `panic-hygiene`: library code in the core crates must not
+//! panic on recoverable conditions — a panic mid-quantum tears down the
+//! whole simulated cloud instead of surfacing a diagnosable
+//! `flowtune_common::error::Error`. `unwrap`/`expect`/`panic!` (and the
+//! placeholder macros) are banned in non-test library code; sites whose
+//! invariants genuinely cannot fail carry a waiver stating why.
+//!
+//! Test modules, integration tests, benches, examples, and CLI `main`
+//! files are exempt: asserting and fast-failing is idiomatic there.
+
+use super::{Emitter, Rule};
+use crate::scan::{FileKind, SourceFile};
+use crate::workspace::CrateInfo;
+
+/// The core library crates the rule protects.
+const CORE_CRATES: &[&str] = &[
+    "flowtune-common",
+    "flowtune-storage",
+    "flowtune-index",
+    "flowtune-query",
+    "flowtune-dataflow",
+    "flowtune-sched",
+    "flowtune-interleave",
+    "flowtune-cloud",
+    "flowtune-tuner",
+    "flowtune-core",
+];
+
+/// Substring patterns (matched on the comment/string-stripped view).
+const BANNED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "return Result via flowtune_common::error, or waive with the invariant",
+    ),
+    (
+        ".expect(",
+        "return Result via flowtune_common::error, or waive with the invariant",
+    ),
+    (
+        "panic!(",
+        "return an Error instead of tearing down the simulation",
+    ),
+    (
+        "todo!(",
+        "unimplemented paths must not ship in library code",
+    ),
+    (
+        "unimplemented!(",
+        "unimplemented paths must not ship in library code",
+    ),
+];
+
+#[derive(Debug)]
+pub struct PanicHygiene;
+
+impl Rule for PanicHygiene {
+    fn name(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid unwrap/expect/panic! in non-test library code of the core crates"
+    }
+
+    fn check_file(&self, krate: &CrateInfo, file: &SourceFile, em: &mut Emitter<'_>) {
+        if !CORE_CRATES.contains(&krate.name.as_str()) || file.kind != FileKind::Lib {
+            return;
+        }
+        for (idx, code) in file.code_lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for (pat, hint) in BANNED {
+                if code.contains(pat) {
+                    let what = pat.trim_end_matches('(').trim_end_matches("()");
+                    em.emit(file, idx, format!("`{what}` in library code: {hint}"));
+                }
+            }
+        }
+    }
+}

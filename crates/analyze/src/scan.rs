@@ -1,0 +1,429 @@
+//! Source loading and lexical preprocessing.
+//!
+//! The analyzer is deliberately *not* a parser: rules match tokens on a
+//! per-line basis over a "code view" of each file in which comments,
+//! string literals, and char literals have been blanked out. That keeps
+//! the engine dependency-free (no `syn`) while eliminating the classic
+//! grep false positives (a banned token inside a doc comment or a log
+//! message). The stripping pass is a small character-level state machine
+//! that understands nested block comments, escape sequences, raw strings
+//! (`r"…"`, `r#"…"#`), byte strings, and the char-literal/lifetime
+//! ambiguity.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Which compilation target a file belongs to — rules scope themselves
+/// by kind (e.g. panic hygiene applies to library code only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` excluding `src/bin/**` and `src/main.rs`.
+    Lib,
+    /// `src/bin/**` or `src/main.rs` — CLI entry points.
+    Bin,
+    /// `tests/**`, `benches/**`, `examples/**` (including workspace-level
+    /// targets referenced from a crate manifest).
+    Test,
+}
+
+/// A loaded source file: raw text for waiver detection, stripped text
+/// for rule matching, and a per-line map of `#[cfg(test)]` regions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the scanned workspace root, `/`-separated.
+    pub rel: String,
+    pub kind: FileKind,
+    /// Original lines (comments intact) — waivers live here.
+    pub raw_lines: Vec<String>,
+    /// Lines with comments/strings/chars blanked to spaces.
+    pub code_lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// rule name -> 0-based line indices waived for that rule.
+    waivers: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl SourceFile {
+    pub fn load(path: &Path, rel: String, kind: FileKind) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let stripped = strip_non_code(&text);
+        let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code_lines: Vec<String> = stripped.lines().map(str::to_owned).collect();
+        let test_lines = mark_test_regions(&code_lines);
+        let waivers = collect_waivers(&raw_lines);
+        Ok(SourceFile {
+            path: path.to_path_buf(),
+            rel,
+            kind,
+            raw_lines,
+            code_lines,
+            test_lines,
+            waivers,
+        })
+    }
+
+    /// Is the given 0-based line waived for `rule`? A waiver comment
+    /// covers its own line and the line immediately below it, so both
+    /// trailing (`stmt; // flowtune-allow(...)`) and preceding
+    /// (comment-only line above the statement) placements work.
+    pub fn is_waived(&self, rule: &str, line_idx: usize) -> bool {
+        self.waivers
+            .get(rule)
+            .is_some_and(|s| s.contains(&line_idx))
+    }
+
+    /// Convenience: is this line library (non-test) code?
+    pub fn is_test_line(&self, line_idx: usize) -> bool {
+        self.test_lines.get(line_idx).copied().unwrap_or(false)
+    }
+}
+
+/// Blank out comments, strings, and char literals, preserving length and
+/// line structure so byte offsets map 1:1 onto the original.
+pub fn strip_non_code(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let bytes: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    st = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    st = State::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && raw_str_hashes(&bytes, i).is_some() {
+                    // r"…", r#"…"#, br"…" etc. Consume prefix up to the
+                    // opening quote, record the hash count.
+                    let (hashes, quote_at) = match raw_str_hashes(&bytes, i) {
+                        Some(v) => v,
+                        None => unreachable!(),
+                    };
+                    for _ in i..=quote_at {
+                        out.push(' ');
+                    }
+                    i = quote_at + 1;
+                    st = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime. A char literal is
+                    // 'x', '\n', '\u{..}' — i.e. the quote is followed by
+                    // either an escape or exactly one char then a quote.
+                    if next == Some('\\') {
+                        // Escaped char literal: consume to closing quote.
+                        out.push(' ');
+                        i += 1;
+                        while i < bytes.len() {
+                            let d = bytes[i];
+                            out.push(if d == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                            if d == '\'' {
+                                break;
+                            }
+                            if d == '\\' && i < bytes.len() {
+                                out.push(' ');
+                                i += 1; // skip escaped char
+                            }
+                        }
+                    } else if bytes.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        // Lifetime — part of the code view.
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    st = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 1 {
+                        st = State::Code;
+                    } else {
+                        st = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    st = State::BlockComment(depth + 1);
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if let Some(d) = next {
+                        out.push(if d == '\n' { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    out.push(' ');
+                    i += 1;
+                    st = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_str(&bytes, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    st = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// At position `i` on `r`/`b`: if this begins a raw string literal,
+/// return `(hash_count, index_of_opening_quote)`.
+fn raw_str_hashes(bytes: &[char], i: usize) -> Option<(u32, usize)> {
+    // Accept r, rb?, br prefixes conservatively: r…" or br…".
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        // Guard against identifiers ending in r (e.g. `var"`) — the char
+        // before `i` must not be alphanumeric/underscore.
+        if i > 0 {
+            let p = bytes[i - 1];
+            if p.is_alphanumeric() || p == '_' {
+                return None;
+            }
+        }
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// Does the quote at `i` terminate a raw string with `hashes` hashes?
+fn closes_raw_str(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item (attribute line,
+/// item header, and the full brace-balanced body).
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut marks = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        if code_lines[i].contains("#[cfg(test)]") {
+            // Mark from the attribute until the item's braces balance.
+            let mut depth: i64 = 0;
+            let mut seen_open = false;
+            let mut j = i;
+            while j < code_lines.len() {
+                marks[j] = true;
+                for c in code_lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if seen_open && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    marks
+}
+
+/// Parse `// flowtune-allow(<rule>): <reason>` waivers. A reason is
+/// mandatory — a waiver without one is ignored (and the violation it
+/// failed to cover will surface). Each waiver covers its own line and
+/// the next line.
+fn collect_waivers(raw_lines: &[String]) -> BTreeMap<String, BTreeSet<usize>> {
+    let mut map: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find("flowtune-allow(") {
+            rest = &rest[pos + "flowtune-allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_owned();
+            let after = &rest[close + 1..];
+            let reason_ok =
+                after.trim_start().starts_with(':') && !after.trim_start()[1..].trim().is_empty();
+            if !rule.is_empty() && reason_ok {
+                let entry = map.entry(rule).or_default();
+                entry.insert(idx);
+                entry.insert(idx + 1);
+            }
+            rest = after;
+        }
+    }
+    map
+}
+
+/// Token-level word match: `needle` occurs in `haystack` with no
+/// identifier character (alphanumeric or `_`) adjacent on either side.
+/// `needle` itself may contain `::` for path patterns.
+pub fn contains_token(haystack: &str, needle: &str) -> bool {
+    find_token(haystack, needle).is_some()
+}
+
+/// Position of the first token-level match, if any.
+pub fn find_token(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = abs + needle.len();
+        let after_ok = end >= haystack.len()
+            || !haystack[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_non_code("let x = 1; // HashMap here\n/* Instant::now() */ let y = 2;");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_strings_and_chars_but_not_lifetimes() {
+        let s =
+            strip_non_code("fn f<'a>(x: &'a str) { let c = 'x'; let s = \"unwrap() inside\"; }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains('x') || !s.contains("'x'"));
+    }
+
+    #[test]
+    fn strips_raw_strings_with_hashes() {
+        let s = strip_non_code("let s = r#\"panic!(\"boom\")\"#; let t = 3;");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip_non_code("/* outer /* inner unwrap() */ still */ let z = 1;");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn preserves_line_count() {
+        let text = "a\n\"multi\nline\nstring\"\nb\n";
+        assert_eq!(strip_non_code(text).lines().count(), text.lines().count());
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let code = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let lines: Vec<String> = code.lines().map(str::to_owned).collect();
+        let marks = mark_test_regions(&lines);
+        assert_eq!(marks, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn waiver_requires_reason_and_covers_next_line() {
+        let lines: Vec<String> = vec![
+            "// flowtune-allow(panic-hygiene): invariant upheld by caller".into(),
+            "x.unwrap();".into(),
+            "// flowtune-allow(panic-hygiene)".into(), // no reason -> ignored
+            "y.unwrap();".into(),
+        ];
+        let w = collect_waivers(&lines);
+        let set = &w["panic-hygiene"];
+        assert!(set.contains(&0) && set.contains(&1));
+        assert!(!set.contains(&3));
+    }
+
+    #[test]
+    fn token_matching_respects_word_boundaries() {
+        assert!(contains_token("let m: HashMap<u32, u32> = x;", "HashMap"));
+        assert!(!contains_token("let m = MyHashMapLike::new();", "HashMap"));
+        assert!(!contains_token("x.unwrap_or(0)", "unwrap()"));
+        assert!(contains_token("std::env::var(k)", "std::env"));
+    }
+}

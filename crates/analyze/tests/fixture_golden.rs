@@ -1,0 +1,83 @@
+//! Golden test over the fixture mini-workspace in `tests/fixtures/ws`.
+//!
+//! The fixtures deliberately violate every rule and also carry waivers
+//! and `#[cfg(test)]` regions, so this test pins down the analyzer's
+//! exact behaviour: what fires, what a waiver suppresses, and what test
+//! code is exempt from. Any rule change that shifts a finding shows up
+//! here as a precise (file, line, rule) diff.
+
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+#[test]
+fn fixture_findings_match_golden_list() {
+    let diags = flowtune_analyze::check_workspace(&fixture_root()).expect("fixture ws scans");
+    let got: Vec<(String, usize, &str)> = diags
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect();
+    let want: Vec<(String, usize, &str)> = [
+        // Unused dep and dev-dep in the sched fixture manifest.
+        ("crates/sched/Cargo.toml", 7, "dep-hygiene"),
+        ("crates/sched/Cargo.toml", 10, "dep-hygiene"),
+        // Wall clock + env lookup; the waived SystemTime line is absent.
+        ("crates/sched/src/lib.rs", 4, "determinism"),
+        ("crates/sched/src/lib.rs", 9, "determinism"),
+        // HashMap import, HashMap in a signature, HashSet in a body; the
+        // waived HashSet import (line 6) and the #[cfg(test)] HashMap
+        // (line 28) are absent.
+        ("crates/tuner/src/lib.rs", 4, "ordered-iteration"),
+        ("crates/tuner/src/lib.rs", 8, "ordered-iteration"),
+        // .unwrap() in lib code; the waived .expect (line 14) and the
+        // unwrap inside #[cfg(test)] (line 34) are absent.
+        ("crates/tuner/src/lib.rs", 9, "panic-hygiene"),
+        // total_cost: f64 outside flowtune-common; the same shape inside
+        // the flowtune-common fixture produces nothing.
+        ("crates/tuner/src/lib.rs", 17, "newtype-discipline"),
+        ("crates/tuner/src/lib.rs", 22, "ordered-iteration"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_owned(), l, r))
+    .collect();
+    assert_eq!(got, want, "fixture diagnostics drifted:\n{diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let diags = flowtune_analyze::check_workspace(&fixture_root()).expect("fixture ws scans");
+    let first = diags.first().expect("fixture has findings");
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/sched/Cargo.toml:7: [dep-hygiene]"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_violations() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_flowtune-analyze"))
+        .arg(fixture_root())
+        .status()
+        .expect("spawn analyzer CLI");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "CLI must fail on a tree with violations"
+    );
+}
+
+#[test]
+fn cli_exits_two_on_missing_root() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_flowtune-analyze"))
+        .arg(fixture_root().join("no-such-dir"))
+        .status()
+        .expect("spawn analyzer CLI");
+    assert_eq!(
+        status.code(),
+        Some(2),
+        "CLI must report I/O errors distinctly"
+    );
+}

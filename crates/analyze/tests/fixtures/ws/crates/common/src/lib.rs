@@ -1,0 +1,13 @@
+//! Fixture `flowtune-common`: exempt from newtype-discipline, so the
+//! raw money/time fields below must produce no findings.
+
+/// Raw quantity fields are allowed here — this crate defines the newtypes.
+pub struct Pricing {
+    pub vm_price: f64,
+    pub storage_cost: f64,
+}
+
+/// Deterministic token other fixture crates can reference.
+pub const fn seed() -> u32 {
+    42
+}

@@ -1,0 +1,33 @@
+//! The enforcement point: the real workspace must be invariant-clean.
+//!
+//! Because this is an ordinary integration test, plain `cargo test`
+//! (the tier-1 gate) fails the moment anyone introduces an unwaivered
+//! `HashMap` on the output path, a wall clock in the simulator, an
+//! unwrap in core library code, a raw money/time `f64`, or a dead
+//! dependency. Waivers (`// flowtune-allow(<rule>): <reason>`) are the
+//! escape hatch and leave an audit trail in the diff.
+
+#[test]
+fn real_workspace_has_no_violations() {
+    let root = flowtune_analyze::workspace_root();
+    let diags = flowtune_analyze::check_workspace(&root).expect("workspace scans");
+    assert!(
+        diags.is_empty(),
+        "workspace invariant violations (waive with `// flowtune-allow(<rule>): <reason>` \
+         only when the invariant genuinely holds):\n{}",
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_clean_workspace() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_flowtune-analyze"))
+        .arg(flowtune_analyze::workspace_root())
+        .status()
+        .expect("spawn analyzer CLI");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "CLI must succeed on the clean workspace"
+    );
+}

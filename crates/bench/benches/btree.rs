@@ -2,7 +2,8 @@
 //! lookup, range scan — the data-structure substrate behind every
 //! indexed query path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_index::{BPlusTree, HashIndex};
 use std::hint::black_box;
 

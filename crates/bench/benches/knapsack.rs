@@ -2,14 +2,19 @@
 //! the Graham greedy baseline, at the instance sizes the interleaver
 //! actually produces (Figs. 10–11) and well beyond.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_interleave::{graham_greedy, merged_upper_bound, solve_knapsack};
 use std::hint::black_box;
 
 fn instance(n: usize) -> (Vec<u64>, Vec<f64>) {
     // Deterministic pseudo-random durations (ms) and gains.
-    let sizes: Vec<u64> = (0..n).map(|i| 2_000 + (i as u64 * 7_919) % 28_000).collect();
-    let values: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 31) % 97) as f64 / 10.0).collect();
+    let sizes: Vec<u64> = (0..n)
+        .map(|i| 2_000 + (i as u64 * 7_919) % 28_000)
+        .collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| 1.0 + ((i * 31) % 97) as f64 / 10.0)
+        .collect();
     (sizes, values)
 }
 

@@ -1,7 +1,8 @@
 //! End-to-end service benchmarks: one full tune → schedule → interleave
 //! → execute round, and a short multi-dataflow run per policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
 

@@ -1,7 +1,8 @@
 //! Skyline-scheduler benchmarks: planning cost per application and the
 //! skyline-width ablation (DESIGN.md §6: quality vs planning cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_common::SimRng;
 use flowtune_dataflow::App;
 use flowtune_sched::{OnlineLoadBalanceScheduler, SchedulerConfig, SkylineScheduler};
@@ -47,5 +48,10 @@ fn bench_online_lb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_per_app, bench_width_ablation, bench_online_lb);
+criterion_group!(
+    benches,
+    bench_per_app,
+    bench_width_ablation,
+    bench_online_lb
+);
 criterion_main!(benches);

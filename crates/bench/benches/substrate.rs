@@ -1,7 +1,8 @@
 //! Substrate micro-benchmarks: the LRU cache and the synthetic
 //! `lineitem` generator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_storage::{LineitemGenerator, LineitemParams, LruCache};
 use std::hint::black_box;
 

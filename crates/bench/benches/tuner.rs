@@ -2,7 +2,8 @@
 //! decision run on every dataflow issue, so their cost bounds the
 //! service's scheduling overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_bench::micro::{BenchmarkId, Criterion};
+use flowtune_bench::{criterion_group, criterion_main};
 use std::collections::HashMap;
 use std::hint::black_box;
 
@@ -28,13 +29,19 @@ fn bench_gain_evaluation(c: &mut Criterion) {
     for n in [1usize, 10, 100] {
         let contributions: Vec<GainContribution> = (0..n)
             .map(|i| GainContribution {
-                quanta_ago: i as f64 * 0.5,
+                quanta_ago: flowtune_common::Quanta::new(i as f64 * 0.5),
                 gtd: 2.0,
                 gmd: 3.0,
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &contributions, |b, cs| {
-            b.iter(|| m.evaluate(black_box(cs), 0.5, 100 * 1024 * 1024))
+            b.iter(|| {
+                m.evaluate(
+                    black_box(cs),
+                    flowtune_common::Quanta::new(0.5),
+                    100 * 1024 * 1024,
+                )
+            })
         });
     }
     group.finish();
@@ -55,8 +62,7 @@ fn bench_full_decision(c: &mut Criterion) {
             index_gains: gains,
         });
     }
-    let current: HashMap<IndexId, (f64, f64)> =
-        (0..5).map(|i| (IndexId(i), (4.0, 5.0))).collect();
+    let current: HashMap<IndexId, (f64, f64)> = (0..5).map(|i| (IndexId(i), (4.0, 5.0))).collect();
     c.bench_function("tuner/decide_500_indexes", |b| {
         b.iter(|| {
             tuner.decide(

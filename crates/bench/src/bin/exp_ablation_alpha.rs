@@ -13,7 +13,10 @@ use flowtune_dataflow::WorkloadKind;
 
 fn main() {
     let quanta = flowtune_bench::horizon_quanta();
-    flowtune_bench::banner("Ablation: α sweep", "the Eq. 1 trade-off knob (paper fixes α = 0.5)");
+    flowtune_bench::banner(
+        "Ablation: α sweep",
+        "the Eq. 1 trade-off knob (paper fixes α = 0.5)",
+    );
     println!("horizon: {quanta} quanta, phase workload");
     println!();
 
@@ -51,5 +54,9 @@ fn main() {
     }
     print!("{}", render_table(&rows));
     println!();
-    println!("no-index baseline: {} finished, {:.2} quanta avg", baseline.dataflows_finished, baseline.avg_makespan_quanta());
+    println!(
+        "no-index baseline: {} finished, {:.2} quanta avg",
+        baseline.dataflows_finished,
+        baseline.avg_makespan_quanta()
+    );
 }

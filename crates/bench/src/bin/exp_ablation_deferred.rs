@@ -34,11 +34,16 @@ fn short_slot_scenario() {
     for round in 0..10u32 {
         let op = BuildOp {
             id: BuildOpId(round),
-            build: BuildRef { index: IndexId(round), part: 0 },
+            build: BuildRef {
+                index: IndexId(round),
+                part: 0,
+            },
             duration: SimDuration::from_secs(25 + (round as u64 * 7) % 31),
             gain: 0.15,
         };
-        let fits = slots_per_round.iter().any(|&s| s >= op.duration.as_secs_f64() as u64);
+        let fits = slots_per_round
+            .iter()
+            .any(|&s| s >= op.duration.as_secs_f64() as u64);
         assert!(!fits, "scenario must make slots too short");
         // Slot-only: the op is stranded forever.
         stranded_gain += op.gain;
@@ -51,7 +56,12 @@ fn short_slot_scenario() {
         }
     }
     let rows = vec![
-        vec!["variant".into(), "gain realised ($)".into(), "lease paid ($)".into(), "net ($)".into()],
+        vec![
+            "variant".into(),
+            "gain realised ($)".into(),
+            "lease paid ($)".into(),
+            "net ($)".into(),
+        ],
         vec![
             "slot-only".into(),
             "0.000".into(),
@@ -62,11 +72,17 @@ fn short_slot_scenario() {
             "deferred batches".into(),
             format!("{batched_gain:.3}"),
             format!("{:.3}", batch_cost.as_dollars()),
-            format!("{:+.3} ({batches} batches)", batched_gain - batch_cost.as_dollars()),
+            format!(
+                "{:+.3} ({batches} batches)",
+                batched_gain - batch_cost.as_dollars()
+            ),
         ],
     ];
     print!("{}", render_table(&rows));
-    assert!(batched_gain - batch_cost.as_dollars() > 0.0, "batches must be net-positive");
+    assert!(
+        batched_gain - batch_cost.as_dollars() > 0.0,
+        "batches must be net-positive"
+    );
     println!();
 }
 

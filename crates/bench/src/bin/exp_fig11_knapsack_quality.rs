@@ -16,8 +16,8 @@ const SLOTS_QUANTA: [f64; 8] = [0.55, 0.48, 0.40, 0.33, 0.28, 0.22, 0.15, 0.10];
 
 /// Build-operator durations in quanta (Fig. 10 left: ~0.02–0.2).
 const OPS_QUANTA: [f64; 24] = [
-    0.02, 0.03, 0.03, 0.04, 0.05, 0.05, 0.06, 0.07, 0.08, 0.08, 0.09, 0.10, 0.10, 0.11, 0.12,
-    0.13, 0.14, 0.15, 0.16, 0.17, 0.18, 0.19, 0.19, 0.20,
+    0.02, 0.03, 0.03, 0.04, 0.05, 0.05, 0.06, 0.07, 0.08, 0.08, 0.09, 0.10, 0.10, 0.11, 0.12, 0.13,
+    0.14, 0.15, 0.16, 0.17, 0.18, 0.19, 0.19, 0.20,
 ];
 
 fn to_ms(q: f64) -> u64 {
@@ -45,7 +45,10 @@ fn lp_pack(slots: &[u64], sizes: &[u64], values: &[f64]) -> f64 {
 }
 
 fn main() {
-    flowtune_bench::banner("Figures 10-11", "knapsack packing vs Graham baseline and upper bound");
+    flowtune_bench::banner(
+        "Figures 10-11",
+        "knapsack packing vs Graham baseline and upper bound",
+    );
     // Fig. 10: histograms.
     println!("build-operator durations (quanta):");
     let mut h = Histogram::new(0.0, 0.25, 5);
@@ -67,8 +70,16 @@ fn main() {
     let lp = lp_pack(&slots, &sizes, &values);
     let upper = merged_upper_bound(&slots, &sizes, &values);
 
-    let mut rows = vec![vec!["algorithm".to_string(), "total gain (quanta)".to_string(), "% of upper bound".to_string()]];
-    for (name, value) in [("Graham", graham), ("Linear Prog.", lp), ("Upper Bound", upper)] {
+    let mut rows = vec![vec![
+        "algorithm".to_string(),
+        "total gain (quanta)".to_string(),
+        "% of upper bound".to_string(),
+    ]];
+    for (name, value) in [
+        ("Graham", graham),
+        ("Linear Prog.", lp),
+        ("Upper Bound", upper),
+    ] {
         rows.push(vec![
             name.to_string(),
             format!("{value:.3}"),
@@ -81,5 +92,8 @@ fn main() {
         "LP within {:.1} % of the theoretical upper bound (paper: within 5 %)",
         (1.0 - lp / upper) * 100.0
     );
-    assert!(lp >= graham - 1e-9, "LP must not lose to the greedy baseline");
+    assert!(
+        lp >= graham - 1e-9,
+        "LP must not lose to the greedy baseline"
+    );
 }

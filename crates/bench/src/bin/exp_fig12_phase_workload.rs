@@ -62,7 +62,9 @@ fn main() {
     println!("Figure 12:");
     print!("{}", render_table(&fig12));
     println!();
-    println!("Table 7 (paper: No Index 22402/0, Random 25649/1143 = 4.4 %, Gain 49549/1418 = 2.8 %):");
+    println!(
+        "Table 7 (paper: No Index 22402/0, Random 25649/1143 = 4.4 %, Gain 49549/1418 = 2.8 %):"
+    );
     print!("{}", render_table(&table7));
     println!();
     println!("paper finding: Gain roughly doubles the dataflows finished vs No Index and cuts cost/dataflow; Random inflates cost via untracked storage");

@@ -12,7 +12,10 @@ use flowtune_dataflow::WorkloadKind;
 
 fn main() {
     let quanta = flowtune_bench::horizon_quanta();
-    flowtune_bench::banner("Figure 13", "indexes built and storage cost over time (phase workload)");
+    flowtune_bench::banner(
+        "Figure 13",
+        "indexes built and storage cost over time (phase workload)",
+    );
     let mut config = ServiceConfig::default();
     config.params.total_quanta = quanta;
     config.policy = IndexPolicy::Gain { delete: true };

@@ -11,7 +11,10 @@ use flowtune_dataflow::WorkloadKind;
 
 fn main() {
     let quanta = flowtune_bench::horizon_quanta();
-    flowtune_bench::banner("Figure 14", "random workload: dataflows finished and cost per dataflow");
+    flowtune_bench::banner(
+        "Figure 14",
+        "random workload: dataflows finished and cost per dataflow",
+    );
     println!("horizon: {quanta} quanta (paper: 720)");
     println!();
     let policies = [

@@ -13,7 +13,7 @@
 //! index is built (build terms vanish); once it turns non-positive the
 //! index is deleted (build terms return).
 
-use flowtune_common::{Money, SimDuration, TunerConfig};
+use flowtune_common::{Money, Quanta, SimDuration, TunerConfig};
 use flowtune_core::tablefmt::render_table;
 use flowtune_tuner::gain::GainContribution;
 use flowtune_tuner::GainModel;
@@ -26,7 +26,7 @@ struct IndexTrack {
     name: &'static str,
     dataflows: &'static [(f64, f64, f64)],
     bytes: u64,
-    build_quanta: f64,
+    build_quanta: Quanta,
     built: bool,
     became_beneficial: Option<f64>,
     deleted_at: Option<f64>,
@@ -39,12 +39,16 @@ impl IndexTrack {
             .iter()
             .filter(|(issue, _, _)| *issue <= t)
             .map(|(issue, gtd, gmd)| GainContribution {
-                quanta_ago: t - issue,
+                quanta_ago: Quanta::new(t - issue),
                 gtd: *gtd,
                 gmd: *gmd,
             })
             .collect();
-        let build = if self.built { 0.0 } else { self.build_quanta };
+        let build = if self.built {
+            Quanta::ZERO
+        } else {
+            self.build_quanta
+        };
         model.evaluate(&contributions, build, self.bytes).g
     }
 
@@ -62,9 +66,17 @@ impl IndexTrack {
 }
 
 fn main() {
-    flowtune_bench::banner("Figure 3 / Table 2", "gain over time of indexes A and B (§4)");
+    flowtune_bench::banner(
+        "Figure 3 / Table 2",
+        "gain over time of indexes A and B (§4)",
+    );
     let model = GainModel::new(
-        TunerConfig { alpha: 0.5, fading_d: 60.0, window_w: 150.0, storage_window_w: 150.0 },
+        TunerConfig {
+            alpha: 0.5,
+            fading_d: 60.0,
+            window_w: 150.0,
+            storage_window_w: 150.0,
+        },
         SimDuration::from_secs(60),
         Money::from_dollars(0.1),
         Money::from_dollars(7e-6),
@@ -74,7 +86,7 @@ fn main() {
         name: "A",
         dataflows: &DATAFLOWS_A,
         bytes: 100 * MB,
-        build_quanta: 0.5,
+        build_quanta: Quanta::new(0.5),
         built: false,
         became_beneficial: None,
         deleted_at: None,
@@ -83,7 +95,7 @@ fn main() {
         name: "B",
         dataflows: &DATAFLOWS_B,
         bytes: 500 * MB,
-        build_quanta: 1.5,
+        build_quanta: Quanta::new(1.5),
         built: false,
         became_beneficial: None,
         deleted_at: None,
@@ -116,8 +128,10 @@ fn main() {
         println!(
             "index {}: beneficial at t = {}, deleted at t = {}",
             idx.name,
-            idx.became_beneficial.map_or("never".into(), |t| format!("{t:.0}")),
-            idx.deleted_at.map_or("never (within 200)".into(), |t| format!("{t:.0}")),
+            idx.became_beneficial
+                .map_or("never".into(), |t| format!("{t:.0}")),
+            idx.deleted_at
+                .map_or("never (within 200)".into(), |t| format!("{t:.0}")),
         );
     }
     println!("paper: B becomes beneficial at t = 30 and is deleted around t = 125");

@@ -49,7 +49,10 @@ fn ranked_at(alpha: f64) -> Vec<&'static str> {
 
 fn main() {
     flowtune_bench::banner("Figure 4", "index ordering based on α (§5.1)");
-    let mut rows = vec![vec!["alpha".to_string(), "ranking (best first)".to_string()]];
+    let mut rows = vec![vec![
+        "alpha".to_string(),
+        "ranking (best first)".to_string(),
+    ]];
     for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
         rows.push(vec![format!("{alpha:.1}"), ranked_at(alpha).join(" > ")]);
     }

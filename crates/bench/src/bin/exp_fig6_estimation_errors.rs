@@ -7,7 +7,7 @@
 //! monetary cost and fragmentation, averaged over dataflows of all
 //! three applications.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_cloud::{perturb_dag, IndexAvailability, Simulator};
 use flowtune_common::{ExperimentParams, OnlineStats, SimRng};
@@ -16,7 +16,10 @@ use flowtune_core::tablefmt::render_table;
 use flowtune_sched::{total_fragmentation, SkylineScheduler};
 
 fn main() {
-    flowtune_bench::banner("Figure 6", "offline scheduler robustness to estimation errors");
+    flowtune_bench::banner(
+        "Figure 6",
+        "offline scheduler robustness to estimation errors",
+    );
     let mut setup = ExperimentSetup::new(ExperimentParams::default());
     let scheduler = SkylineScheduler::new(setup.scheduler_config(8));
     let quantum = setup.params.cloud.quantum;
@@ -43,28 +46,25 @@ fn main() {
                 let schedule = scheduler.schedule(dag).remove(0);
                 let est_time = schedule.makespan().as_secs_f64();
                 let est_money = schedule.money(quantum, vm_price).as_dollars();
-                let est_frag =
-                    total_fragmentation(&schedule, quantum).as_secs_f64().max(1.0);
+                let est_frag = total_fragmentation(&schedule, quantum)
+                    .as_secs_f64()
+                    .max(1.0);
                 for seed in 0..5u64 {
                     let mut rng = SimRng::seed_from_u64(seed * 77 + error_pct as u64);
                     let actual = perturb_dag(dag, time_err, data_err, &mut rng);
-                    let sim =
-                        Simulator::new(setup.params.cloud.clone(), &setup.filedb);
+                    let sim = Simulator::new(setup.params.cloud.clone(), &setup.filedb);
                     let exec = sim.execute(
                         &actual,
                         &schedule,
                         &[],
                         &IndexAvailability::new(),
-                        &HashMap::new(),
+                        &BTreeMap::new(),
                     );
-                    dt.push(
-                        (exec.makespan.as_secs_f64() - est_time).abs() / est_time * 100.0,
-                    );
+                    dt.push((exec.makespan.as_secs_f64() - est_time).abs() / est_time * 100.0);
                     let money = exec.compute_cost.as_dollars();
                     dm.push((money - est_money).abs() / est_money * 100.0);
                     dfrag.push(
-                        (exec.fragmentation.as_secs_f64() - est_frag).abs() / est_frag
-                            * 100.0,
+                        (exec.fragmentation.as_secs_f64() - est_frag).abs() / est_frag * 100.0,
                     );
                 }
             }

@@ -16,6 +16,7 @@ use flowtune_core::tablefmt::render_table;
 use flowtune_dataflow::{App, Dag, Edge};
 use flowtune_sched::{OnlineLoadBalanceScheduler, SkylineScheduler};
 
+// flowtune-allow(newtype-discipline): time_factor is a dimensionless scale factor, not a time
 fn scale_dag(dag: &Dag, time_factor: f64, data_factor: f64) -> Dag {
     let ops = dag
         .ops()
@@ -39,7 +40,10 @@ fn scale_dag(dag: &Dag, time_factor: f64, data_factor: f64) -> Dag {
 }
 
 fn main() {
-    flowtune_bench::banner("Figure 7", "online load-balance vs offline skyline scheduler");
+    flowtune_bench::banner(
+        "Figure 7",
+        "online load-balance vs offline skyline scheduler",
+    );
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
     let vm_price = setup.params.cloud.vm_price_per_quantum;
@@ -64,23 +68,37 @@ fn main() {
     };
 
     println!("CPU-intensive sweep (runtime x, data x0.01):");
-    let mut rows =
-        vec![vec!["cpu scale".to_string(), "Δtime %".to_string(), "Δmoney %".to_string()]];
+    let mut rows = vec![vec![
+        "cpu scale".to_string(),
+        "Δtime %".to_string(),
+        "Δmoney %".to_string(),
+    ]];
     for scale in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
         let dag = scale_dag(&base, scale, 0.01);
         let (dt, dm) = compare(&dag);
-        rows.push(vec![format!("{scale:.0}x"), format!("{dt:+.1}"), format!("{dm:+.1}")]);
+        rows.push(vec![
+            format!("{scale:.0}x"),
+            format!("{dt:+.1}"),
+            format!("{dm:+.1}"),
+        ]);
     }
     print!("{}", render_table(&rows));
     println!();
 
     println!("data-intensive sweep (data x, runtime x1):");
-    let mut rows =
-        vec![vec!["data scale".to_string(), "Δtime %".to_string(), "Δmoney %".to_string()]];
+    let mut rows = vec![vec![
+        "data scale".to_string(),
+        "Δtime %".to_string(),
+        "Δmoney %".to_string(),
+    ]];
     for scale in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
         let dag = scale_dag(&base, 1.0, scale);
         let (dt, dm) = compare(&dag);
-        rows.push(vec![format!("{scale:.0}x"), format!("{dt:+.1}"), format!("{dm:+.1}")]);
+        rows.push(vec![
+            format!("{scale:.0}x"),
+            format!("{dt:+.1}"),
+            format!("{dm:+.1}"),
+        ]);
     }
     print!("{}", render_table(&rows));
     println!();

@@ -13,7 +13,10 @@ use flowtune_interleave::{BuildOp, LpInterleaver, OnlineInterleaver};
 use flowtune_sched::{BuildRef, SkylineScheduler};
 
 fn main() {
-    flowtune_bench::banner("Figure 8", "indexes scheduled for the Montage dataflow (§6.4)");
+    flowtune_bench::banner(
+        "Figure 8",
+        "indexes scheduled for the Montage dataflow (§6.4)",
+    );
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
     let mut rng = SimRng::seed_from_u64(8);
@@ -23,7 +26,10 @@ fn main() {
     let pending: Vec<BuildOp> = (0..80u32)
         .map(|i| BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i / 4), part: i % 4 },
+            build: BuildRef {
+                index: IndexId(i / 4),
+                part: i % 4,
+            },
             duration: SimDuration::from_secs(5 + (i as u64 * 13) % 26),
             gain: 1.0 + (i as f64 * 0.29) % 4.0,
         })
@@ -62,8 +68,11 @@ fn main() {
     print!("{}", render_table(&rows));
     println!();
     let lp_max = lp_placed.iter().map(Vec::len).max().unwrap_or(0);
-    let online_max =
-        online_skyline.iter().map(|s| s.build_assignments().count()).max().unwrap_or(0);
+    let online_max = online_skyline
+        .iter()
+        .map(|s| s.build_assignments().count())
+        .max()
+        .unwrap_or(0);
     println!("max build ops placed: LP = {lp_max}, online = {online_max}");
     println!("paper finding: LP schedules significantly more build operators because fragmentation is known before it runs");
 }

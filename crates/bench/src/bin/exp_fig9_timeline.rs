@@ -38,13 +38,20 @@ fn render_timeline(schedule: &Schedule, quantum: SimDuration) -> String {
                 *cell = ch;
             }
         }
-        out.push_str(&format!("{:>4} |{}|\n", c.to_string(), row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{:>4} |{}|\n",
+            c.to_string(),
+            row.iter().collect::<String>()
+        ));
     }
     out
 }
 
 fn main() {
-    flowtune_bench::banner("Figure 9", "Montage timeline with build-index operators (green = '+')");
+    flowtune_bench::banner(
+        "Figure 9",
+        "Montage timeline with build-index operators (green = '+')",
+    );
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
     let mut rng = SimRng::seed_from_u64(9);
@@ -56,7 +63,10 @@ fn main() {
     let pending: Vec<BuildOp> = (0..160u32)
         .map(|i| BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i / 4), part: i % 4 },
+            build: BuildRef {
+                index: IndexId(i / 4),
+                part: i % 4,
+            },
             duration: SimDuration::from_secs(4 + (i as u64 * 11) % 22),
             gain: 1.0 + (i as f64 * 0.43) % 3.0,
         })

@@ -45,7 +45,9 @@ fn main() {
         ]);
         // Input file sizes from the generated file database.
         let input = OnlineStats::from_iter(
-            filedb.files_of(app).map(|f| f.bytes as f64 / (1024.0 * 1024.0)),
+            filedb
+                .files_of(app)
+                .map(|f| f.bytes as f64 / (1024.0 * 1024.0)),
         );
         rows.push(vec![
             app.name().to_string(),

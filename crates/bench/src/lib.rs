@@ -1,8 +1,10 @@
 //! # flowtune-bench
 //!
 //! Experiment harness: one `exp_*` binary per table/figure of the
-//! paper's evaluation (§6) plus criterion micro-benchmarks. Run them
-//! with `cargo run --release -p flowtune-bench --bin exp_<name>`.
+//! paper's evaluation (§6) plus micro-benchmarks built on the in-repo
+//! [`micro`] harness (no registry dependencies — DESIGN §7). Run them
+//! with `cargo run --release -p flowtune-bench --bin exp_<name>` and
+//! `cargo bench -p flowtune-bench`.
 //!
 //! Every binary prints the paper's reported values next to the measured
 //! ones; `EXPERIMENTS.md` at the repository root records a full
@@ -15,6 +17,8 @@
 //!   quick smoke runs.
 //! * `FLOWTUNE_TABLE6_ROWS` — row count for the measured speedups of
 //!   Table 6 (default 2,000,000).
+
+pub mod micro;
 
 /// Read the horizon override (quanta).
 pub fn horizon_quanta() -> u64 {

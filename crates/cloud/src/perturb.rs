@@ -11,9 +11,16 @@ use flowtune_dataflow::{Dag, Edge};
 /// Produce the *actual* DAG from the *estimated* one: operator runtimes
 /// scaled by `1 ± time_error`, edge byte counts by `1 ± data_error`.
 /// Errors are fractions (0.1 = 10 %).
+// flowtune-allow(newtype-discipline): time_error is a dimensionless error fraction, not a time
 pub fn perturb_dag(dag: &Dag, time_error: f64, data_error: f64, rng: &mut SimRng) -> Dag {
-    assert!((0.0..1.0).contains(&time_error), "time error must be in [0,1)");
-    assert!((0.0..1.0).contains(&data_error), "data error must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&time_error),
+        "time error must be in [0,1)"
+    );
+    assert!(
+        (0.0..1.0).contains(&data_error),
+        "data error must be in [0,1)"
+    );
     let ops = dag
         .ops()
         .iter()
@@ -36,9 +43,14 @@ pub fn perturb_dag(dag: &Dag, time_error: f64, data_error: f64, rng: &mut SimRng
             } else {
                 e.bytes
             };
-            Edge { from: e.from, to: e.to, bytes }
+            Edge {
+                from: e.from,
+                to: e.to,
+                bytes,
+            }
         })
         .collect();
+    // flowtune-allow(panic-hygiene): ops and edges are copied one-for-one from a Dag that already validated
     Dag::new(ops, edges).expect("perturbation preserves DAG structure")
 }
 

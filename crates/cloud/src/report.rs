@@ -66,10 +66,16 @@ mod tests {
         let mut r = ExecutionReport::default();
         r.dataflow_ops = 100;
         r.completed_builds.push(CompletedBuild {
-            build: BuildRef { index: IndexId(0), part: 0 },
+            build: BuildRef {
+                index: IndexId(0),
+                part: 0,
+            },
             finished_at: SimTime::from_secs(30),
         });
-        r.killed_builds.push(BuildRef { index: IndexId(1), part: 2 });
+        r.killed_builds.push(BuildRef {
+            index: IndexId(1),
+            part: 2,
+        });
         assert_eq!(r.build_ops_attempted(), 2);
         assert_eq!(r.total_ops(), 102);
     }

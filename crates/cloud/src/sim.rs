@@ -8,7 +8,7 @@
 //! next dataflow operator or by lease expiry — they can never delay the
 //! dataflow (priority −1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_common::{
     pricing, CloudConfig, ContainerId, IndexId, PartitionId, SimDuration, SimTime,
@@ -22,7 +22,7 @@ use crate::report::{CompletedBuild, ExecutionReport};
 /// Which index partitions exist (and their sizes) at execution time.
 #[derive(Debug, Clone, Default)]
 pub struct IndexAvailability {
-    built: HashMap<(IndexId, u32), u64>,
+    built: BTreeMap<(IndexId, u32), u64>,
 }
 
 impl IndexAvailability {
@@ -97,13 +97,13 @@ impl<'a> Simulator<'a> {
         schedule: &Schedule,
         index_uses: &[IndexUse],
         availability: &IndexAvailability,
-        build_durations: &HashMap<BuildRef, SimDuration>,
+        build_durations: &BTreeMap<BuildRef, SimDuration>,
     ) -> ExecutionReport {
         let mut report = ExecutionReport::default();
         let quantum = self.config.quantum;
 
         // Best usable index per file for this dataflow.
-        let mut best_index: HashMap<flowtune_common::FileId, IndexUse> = HashMap::new();
+        let mut best_index: BTreeMap<flowtune_common::FileId, IndexUse> = BTreeMap::new();
         for u in index_uses {
             let entry = best_index.entry(u.file).or_insert(*u);
             if u.speedup > entry.speedup {
@@ -112,10 +112,10 @@ impl<'a> Simulator<'a> {
         }
 
         // Per-container state.
-        let mut caches: HashMap<ContainerId, LruCache<CacheKey>> = HashMap::new();
-        let mut container_free: HashMap<ContainerId, SimTime> = HashMap::new();
-        let mut actual_df: HashMap<flowtune_common::OpId, (ContainerId, SimTime, SimTime)> =
-            HashMap::new();
+        let mut caches: BTreeMap<ContainerId, LruCache<CacheKey>> = BTreeMap::new();
+        let mut container_free: BTreeMap<ContainerId, SimTime> = BTreeMap::new();
+        let mut actual_df: BTreeMap<flowtune_common::OpId, (ContainerId, SimTime, SimTime)> =
+            BTreeMap::new();
 
         // Dataflow ops in planned order (valid: planned starts respect
         // both dependency and per-container order).
@@ -133,6 +133,7 @@ impl<'a> Simulator<'a> {
             for &p in actual.preds(a.op) {
                 let &(pc, _, pend) = actual_df
                     .get(&p)
+                    // flowtune-allow(panic-hygiene): Schedule::validate guarantees predecessors precede successors in planned order
                     .expect("planned order must process predecessors first");
                 let mut t = pend;
                 if pc != a.container {
@@ -140,7 +141,10 @@ impl<'a> Simulator<'a> {
                 }
                 ready = ready.max(t);
             }
-            let free = container_free.get(&a.container).copied().unwrap_or(SimTime::ZERO);
+            let free = container_free
+                .get(&a.container)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
             let start = ready.max(free);
             // Input transfers and index acceleration.
             let mut transfer_in = SimDuration::ZERO;
@@ -194,7 +198,7 @@ impl<'a> Simulator<'a> {
 
         // Actual makespan and billing.
         let (mut first, mut last) = (SimTime::MAX, SimTime::ZERO);
-        let mut spans: HashMap<ContainerId, (SimTime, SimTime)> = HashMap::new();
+        let mut spans: BTreeMap<ContainerId, (SimTime, SimTime)> = BTreeMap::new();
         for &(c, s, e) in actual_df.values() {
             first = first.min(s);
             last = last.max(e);
@@ -207,11 +211,11 @@ impl<'a> Simulator<'a> {
         } else {
             last - first
         };
-        let mut busy: HashMap<ContainerId, SimDuration> = HashMap::new();
+        let mut busy: BTreeMap<ContainerId, SimDuration> = BTreeMap::new();
         for &(c, s, e) in actual_df.values() {
             *busy.entry(c).or_insert(SimDuration::ZERO) += e - s;
         }
-        let mut leases: HashMap<ContainerId, (SimTime, SimTime)> = HashMap::new();
+        let mut leases: BTreeMap<ContainerId, (SimTime, SimTime)> = BTreeMap::new();
         for (&c, &(s, e)) in &spans {
             let ls = s.quantum_floor(quantum);
             let le = e.quantum_ceil(quantum).max(ls + quantum);
@@ -222,7 +226,7 @@ impl<'a> Simulator<'a> {
             pricing::compute_cost(report.leased_quanta, self.config.vm_price_per_quantum);
 
         // Build operators: backfill real idle time in planned order.
-        let mut per_container: HashMap<ContainerId, Vec<Assignment>> = HashMap::new();
+        let mut per_container: BTreeMap<ContainerId, Vec<Assignment>> = BTreeMap::new();
         for a in schedule.assignments() {
             per_container.entry(a.container).or_default().push(*a);
         }
@@ -231,7 +235,10 @@ impl<'a> Simulator<'a> {
                 // Container has no dataflow ops -> never leased; any
                 // planned builds there are killed outright.
                 for a in assignments.iter().filter(|a| a.is_optional()) {
-                    report.killed_builds.push(a.build.expect("optional has build"));
+                    report
+                        .killed_builds
+                        // flowtune-allow(panic-hygiene): is_optional() is defined as build.is_some()
+                        .push(a.build.expect("optional has build"));
                 }
                 continue;
             };
@@ -240,6 +247,7 @@ impl<'a> Simulator<'a> {
             for (i, a) in assignments.iter().enumerate() {
                 match a.build {
                     None => {
+                        // flowtune-allow(panic-hygiene): every dataflow assignment was executed in the first pass above
                         let &(_, _, e) = actual_df.get(&a.op).expect("df op executed");
                         cursor = cursor.max(e);
                     }
@@ -249,18 +257,19 @@ impl<'a> Simulator<'a> {
                         let next_df_start = assignments[i + 1..]
                             .iter()
                             .filter(|b| !b.is_optional())
+                            // flowtune-allow(panic-hygiene): every dataflow assignment was executed in the first pass above
                             .map(|b| actual_df.get(&b.op).expect("df op executed").1)
                             .next()
                             .unwrap_or(lease_end)
                             .min(lease_end);
                         let start = cursor;
-                        let dur =
-                            build_durations.get(&build).copied().unwrap_or(a.duration());
+                        let dur = build_durations.get(&build).copied().unwrap_or(a.duration());
                         let end = start + dur;
                         if end <= next_df_start && start < lease_end {
-                            report
-                                .completed_builds
-                                .push(CompletedBuild { build, finished_at: end });
+                            report.completed_builds.push(CompletedBuild {
+                                build,
+                                finished_at: end,
+                            });
                             *busy.entry(c).or_insert(SimDuration::ZERO) += dur;
                             cursor = end;
                         } else {
@@ -287,11 +296,11 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowtune_common::{BuildOpId, DataflowId};
     use flowtune_common::{OpId, SimRng};
     use flowtune_dataflow::{App, Dataflow, DataflowFactory, Edge, OpSpec};
     use flowtune_interleave::{BuildOp, LpInterleaver};
     use flowtune_sched::{SchedulerConfig, SkylineScheduler};
-    use flowtune_common::{BuildOpId, DataflowId};
 
     fn filedb() -> FileDatabase {
         FileDatabase::generate(&mut SimRng::seed_from_u64(42))
@@ -314,8 +323,16 @@ mod tests {
                 OpSpec::new(OpId(2), "b", SimDuration::from_secs(10)),
             ],
             vec![
-                Edge { from: OpId(0), to: OpId(2), bytes: 0 },
-                Edge { from: OpId(1), to: OpId(2), bytes: 0 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(2),
+                    bytes: 0,
+                },
             ],
         )
         .unwrap();
@@ -348,7 +365,10 @@ mod tests {
                 SimTime::from_secs(10),
                 SimTime::from_secs(10 + build_secs),
                 OpId(1_000_000),
-                BuildRef { index: IndexId(0), part: 0 },
+                BuildRef {
+                    index: IndexId(0),
+                    part: 0,
+                },
                 Q,
             )
             .unwrap();
@@ -360,7 +380,13 @@ mod tests {
         let db = filedb();
         let sim = Simulator::new(cfg(), &db);
         let (dag, schedule) = stalled_with_build(20);
-        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        let r = sim.execute(
+            &dag,
+            &schedule,
+            &[],
+            &IndexAvailability::new(),
+            &BTreeMap::new(),
+        );
         assert_eq!(r.completed_builds.len(), 1);
         assert!(r.killed_builds.is_empty());
         assert_eq!(r.dataflow_ops, 3);
@@ -375,8 +401,11 @@ mod tests {
         // Planned 30 s into the [10,40) gap, but the build actually needs
         // 35 s: dataflow op b arrives at 40 and stops it.
         let (dag, schedule) = stalled_with_build(30);
-        let durations: HashMap<BuildRef, SimDuration> = HashMap::from([(
-            BuildRef { index: IndexId(0), part: 0 },
+        let durations: BTreeMap<BuildRef, SimDuration> = BTreeMap::from([(
+            BuildRef {
+                index: IndexId(0),
+                part: 0,
+            },
             SimDuration::from_secs(35),
         )]);
         let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
@@ -410,12 +439,18 @@ mod tests {
                 SimTime::from_secs(10),
                 SimTime::from_secs(40),
                 OpId(1_000_000),
-                BuildRef { index: IndexId(3), part: 1 },
+                BuildRef {
+                    index: IndexId(3),
+                    part: 1,
+                },
                 Q,
             )
             .unwrap();
-        let durations: HashMap<BuildRef, SimDuration> = HashMap::from([(
-            BuildRef { index: IndexId(3), part: 1 },
+        let durations: BTreeMap<BuildRef, SimDuration> = BTreeMap::from([(
+            BuildRef {
+                index: IndexId(3),
+                part: 1,
+            },
             SimDuration::from_secs(55),
         )]);
         let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
@@ -429,7 +464,13 @@ mod tests {
         let db = filedb();
         let sim = Simulator::new(cfg(), &db);
         let (dag, schedule) = stalled_with_build(5);
-        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        let r = sim.execute(
+            &dag,
+            &schedule,
+            &[],
+            &IndexAvailability::new(),
+            &BTreeMap::new(),
+        );
         // Actual: a [0,10) c0, x [0,40) c1, b [40,50) c0.
         assert_eq!(r.makespan, SimDuration::from_secs(50));
         assert_eq!(r.leased_quanta, 2);
@@ -441,8 +482,7 @@ mod tests {
         let db = FileDatabase::generate(&mut rng);
         let mut factory = DataflowFactory::new(db, 60, rng);
         // CyberShake: large files, many partitions -> indexes matter.
-        let df: Dataflow =
-            factory.make(DataflowId(0), App::Cybershake, SimTime::ZERO);
+        let df: Dataflow = factory.make(DataflowId(0), App::Cybershake, SimTime::ZERO);
         let db = factory.filedb();
         let sim = Simulator::new(cfg(), db);
         let scheduler = SkylineScheduler::new(SchedulerConfig::default());
@@ -454,7 +494,7 @@ mod tests {
             &schedule,
             &df.index_uses,
             &IndexAvailability::new(),
-            &HashMap::new(),
+            &BTreeMap::new(),
         );
         // All of this dataflow's indexes fully built.
         let mut avail = IndexAvailability::new();
@@ -464,7 +504,7 @@ mod tests {
                 avail.add(u.index, p.id.part, p.bytes / 8);
             }
         }
-        let with = sim.execute(&df.dag, &schedule, &df.index_uses, &avail, &HashMap::new());
+        let with = sim.execute(&df.dag, &schedule, &df.index_uses, &avail, &BTreeMap::new());
         assert!(
             with.makespan < none.makespan,
             "indexes must speed up execution: {} vs {}",
@@ -482,12 +522,14 @@ mod tests {
         let pid = db.files()[0].partitions[0].id;
         let dag = Dag::new(
             vec![
-                OpSpec::new(OpId(0), "r1", SimDuration::from_secs(5))
-                    .with_reads(vec![pid]),
-                OpSpec::new(OpId(1), "r2", SimDuration::from_secs(5))
-                    .with_reads(vec![pid]),
+                OpSpec::new(OpId(0), "r1", SimDuration::from_secs(5)).with_reads(vec![pid]),
+                OpSpec::new(OpId(1), "r2", SimDuration::from_secs(5)).with_reads(vec![pid]),
             ],
-            vec![Edge { from: OpId(0), to: OpId(1), bytes: 0 }],
+            vec![Edge {
+                from: OpId(0),
+                to: OpId(1),
+                bytes: 0,
+            }],
         )
         .unwrap();
         let schedule = Schedule::from_assignments(vec![
@@ -507,7 +549,13 @@ mod tests {
             },
         ]);
         let sim = Simulator::new(cfg(), &db);
-        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &HashMap::new());
+        let r = sim.execute(
+            &dag,
+            &schedule,
+            &[],
+            &IndexAvailability::new(),
+            &BTreeMap::new(),
+        );
         assert_eq!(r.cache_hits, 1);
         assert_eq!(r.cache_misses, 1);
     }
@@ -524,7 +572,10 @@ mod tests {
         let pending: Vec<BuildOp> = (0..40)
             .map(|i| BuildOp {
                 id: BuildOpId(i),
-                build: BuildRef { index: IndexId(i), part: 0 },
+                build: BuildRef {
+                    index: IndexId(i),
+                    part: 0,
+                },
                 duration: SimDuration::from_secs(5 + (i as u64 % 17)),
                 gain: 1.0 + i as f64,
             })
@@ -536,7 +587,7 @@ mod tests {
             &schedule,
             &df.index_uses,
             &IndexAvailability::new(),
-            &HashMap::new(),
+            &BTreeMap::new(),
         );
         assert_eq!(r.dataflow_ops, df.dag.len());
         assert!(r.makespan > SimDuration::ZERO);

@@ -174,7 +174,10 @@ mod tests {
         let p = ExperimentParams::default();
         assert_eq!(p.cloud.quantum, SimDuration::from_secs(60));
         assert_eq!(p.cloud.vm_price_per_quantum, Money::from_dollars(0.1));
-        assert_eq!(p.cloud.storage_price_per_mb_quantum, Money::from_dollars(1e-4));
+        assert_eq!(
+            p.cloud.storage_price_per_mb_quantum,
+            Money::from_dollars(1e-4)
+        );
         assert_eq!(p.cloud.max_containers, 100);
         assert_eq!(p.ops_per_dataflow, 100);
         assert!((p.tuner.alpha - 0.5).abs() < 1e-12);
@@ -198,8 +201,23 @@ mod tests {
     #[test]
     fn tuner_validation() {
         assert!(TunerConfig::default().validate().is_ok());
-        assert!(TunerConfig { alpha: 1.5, ..Default::default() }.validate().is_err());
-        assert!(TunerConfig { fading_d: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TunerConfig { window_w: -1.0, ..Default::default() }.validate().is_err());
+        assert!(TunerConfig {
+            alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TunerConfig {
+            fading_d: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TunerConfig {
+            window_w: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

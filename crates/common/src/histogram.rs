@@ -17,7 +17,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, counts: vec![0; buckets], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
     }
 
     /// Record one sample.

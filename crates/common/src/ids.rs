@@ -20,6 +20,7 @@ macro_rules! define_id {
 
             /// Construct from a `usize` index (panics on overflow).
             pub fn from_index(i: usize) -> Self {
+                // flowtune-allow(panic-hygiene): documented contract: entity counts in the simulation fit in u32
                 $name(u32::try_from(i).expect("id overflow"))
             }
         }

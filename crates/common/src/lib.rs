@@ -28,4 +28,4 @@ pub use ids::{BuildOpId, ContainerId, DataflowId, FileId, IndexId, OpId, Partiti
 pub use money::Money;
 pub use rng::SimRng;
 pub use stats::OnlineStats;
-pub use time::{SimDuration, SimTime};
+pub use time::{Quanta, SimDuration, SimTime};

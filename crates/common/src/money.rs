@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(Money::from_micros(100).mul_f64(0.25), Money::from_micros(25));
+        assert_eq!(
+            Money::from_micros(100).mul_f64(0.25),
+            Money::from_micros(25)
+        );
         assert_eq!(Money::from_micros(100) * 3, Money::from_micros(300));
         assert_eq!(Money::from_micros(100) / 4, Money::from_micros(25));
     }

@@ -1,55 +1,112 @@
 //! Deterministic random number generation for workload synthesis.
 //!
-//! All experiment randomness flows through [`SimRng`], a thin wrapper over
-//! a seeded [`rand::rngs::StdRng`] that adds the distributions the paper's
-//! workload generators need (exponential inter-arrivals for the Poisson
-//! client, truncated log-normal operator runtimes, categorical choice).
-//! Normal variates are produced with Box–Muller so no extra distribution
-//! crate is required.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! All experiment randomness flows through [`SimRng`], a seeded
+//! xoshiro256** generator (Blackman & Vigna) implemented in-repo so the
+//! workspace builds with **zero external dependencies** and fully
+//! offline. The 64-bit seed is expanded into the 256-bit state with
+//! SplitMix64, exactly as the reference implementation recommends, so
+//! equal seeds produce identical streams on every platform and toolchain.
+//! On top of the raw generator sit the distributions the paper's workload
+//! generators need (exponential inter-arrivals for the Poisson client,
+//! truncated log-normal operator runtimes, categorical choice). Normal
+//! variates are produced with Box–Muller so no distribution crate is
+//! required.
+//!
+//! The byte-exact output stream is a compatibility surface: experiment
+//! figures are reproduced from seeds, so changing the generator or the
+//! seeding procedure invalidates published numbers. The golden-stream
+//! test at the bottom of this file pins the first draws of the stream and
+//! must only be updated together with a deliberate, documented generator
+//! change.
 
 /// Seeded RNG with simulation-oriented helpers.
-#[derive(Debug)]
+///
+/// Internally a xoshiro256** generator: 256 bits of state, period
+/// `2^256 - 1`, passes BigCrush, and needs only shifts/rotates/adds —
+/// ideal for a dependency-free deterministic simulator.
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — used to expand a 64-bit seed into generator state.
+///
+/// This is the seeding procedure recommended by the xoshiro authors: it
+/// guarantees the expanded state is never all-zero (xoshiro's single
+/// forbidden state) and decorrelates nearby seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed. Equal seeds produce identical streams.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256** scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child generator; used to give each workload
     /// component its own stream so adding draws in one place does not
     /// perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.random::<u64>())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`: the top 53 bits of a draw scaled by 2⁻⁵³.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Requires `lo < hi`.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(lo < hi, "empty uniform range");
-        self.inner.random_range(lo..hi)
+        lo + (hi - lo) * self.uniform()
     }
 
     /// Uniform integer in `[lo, hi)`. Requires `lo < hi`.
+    ///
+    /// Unbiased: draws are rejected from the tail zone where the modulus
+    /// would over-represent small residues.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi, "empty integer range");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Uniform i64 in `[lo, hi)`. Requires `lo < hi`.
     pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
         debug_assert!(lo < hi, "empty integer range");
-        self.inner.random_range(lo..hi)
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.uniform_u64(0, span) as i64)
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -110,16 +167,49 @@ impl SimRng {
             items.swap(i, j);
         }
     }
-
-    /// Raw access for callers needing the full [`Rng`] API.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the raw generator against the xoshiro256** reference: seeding
+    /// state with SplitMix64(seed=0) and scrambling must reproduce the
+    /// published algorithm exactly. These values were produced by this
+    /// implementation and cross-checked against the reference C code's
+    /// seeding procedure; they must never change silently — every
+    /// experiment figure is reproduced from seeds through this stream.
+    #[test]
+    fn golden_stream_raw_u64() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let expected: [u64; 8] = [
+            11091344671253066420,
+            13793997310169335082,
+            1900383378846508768,
+            7684712102626143532,
+            13521403990117723737,
+            18442103541295991498,
+            7788427924976520344,
+            9881088229871127103,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    /// Golden stream for the distribution helpers at the experiment seed.
+    #[test]
+    fn golden_stream_distributions() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let u: Vec<u64> = (0..4).map(|_| rng.uniform().to_bits()).collect();
+        let expected: [u64; 4] = [
+            4590707384586612416,
+            4600498721180566606,
+            4604300506050280595,
+            4606504113153275500,
+        ];
+        assert_eq!(u, expected);
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -142,6 +232,22 @@ mod tests {
     }
 
     #[test]
+    fn uniform_u64_is_in_range_and_covers() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.uniform_u64(3, 10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert_eq!(seen, [true; 7]);
+        for _ in 0..500 {
+            let v = rng.uniform_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
     fn exponential_has_requested_mean() {
         let mut rng = SimRng::seed_from_u64(42);
         let n = 20_000;
@@ -153,8 +259,9 @@ mod tests {
     fn lognormal_matches_target_moments() {
         let mut rng = SimRng::seed_from_u64(1);
         let n = 40_000;
-        let xs: Vec<f64> =
-            (0..n).map(|_| rng.lognormal_clamped(22.97, 25.08, 0.0, f64::INFINITY)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| rng.lognormal_clamped(22.97, 25.08, 0.0, f64::INFINITY))
+            .collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 22.97).abs() < 1.0, "mean {mean}");

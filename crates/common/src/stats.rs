@@ -17,7 +17,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Build from an iterator of samples.
@@ -130,7 +136,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn empty_stats_are_safe() {
@@ -162,24 +168,38 @@ mod tests {
         assert_eq!(percentile_sorted(&[7.0], 0.4), 7.0);
     }
 
-    proptest! {
-        #[test]
-        fn merge_equals_sequential(a in proptest::collection::vec(-1e6f64..1e6, 0..50),
-                                   b in proptest::collection::vec(-1e6f64..1e6, 0..50)) {
+    fn random_vec(rng: &mut SimRng, max_len: u64, lo: f64, hi: f64) -> Vec<f64> {
+        let n = rng.uniform_u64(0, max_len) as usize;
+        (0..n).map(|_| rng.uniform_range(lo, hi)).collect()
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut rng = SimRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..200 {
+            let a = random_vec(&mut rng, 50, -1e6, 1e6);
+            let b = random_vec(&mut rng, 50, -1e6, 1e6);
             let mut merged = OnlineStats::from_iter(a.iter().copied());
             merged.merge(&OnlineStats::from_iter(b.iter().copied()));
             let seq = OnlineStats::from_iter(a.iter().chain(b.iter()).copied());
-            prop_assert_eq!(merged.count(), seq.count());
-            prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
-            prop_assert!((merged.variance() - seq.variance()).abs() < 1e-3);
+            assert_eq!(merged.count(), seq.count());
+            assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+            assert!((merged.variance() - seq.variance()).abs() < 1e-3);
         }
+    }
 
-        #[test]
-        fn stdev_is_nonnegative_and_bounded(v in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+    #[test]
+    fn stdev_is_nonnegative_and_bounded() {
+        let mut rng = SimRng::seed_from_u64(0xBEEF);
+        for _ in 0..200 {
+            let mut v = random_vec(&mut rng, 99, -1e3, 1e3);
+            if v.is_empty() {
+                v.push(rng.uniform_range(-1e3, 1e3));
+            }
             let s = OnlineStats::from_iter(v.iter().copied());
-            prop_assert!(s.stdev() >= 0.0);
-            prop_assert!(s.min() <= s.mean() + 1e-9);
-            prop_assert!(s.mean() <= s.max() + 1e-9);
+            assert!(s.stdev() >= 0.0);
+            assert!(s.min() <= s.mean() + 1e-9);
+            assert!(s.mean() <= s.max() + 1e-9);
         }
     }
 }

@@ -157,6 +157,94 @@ impl SimDuration {
     }
 }
 
+/// A (possibly fractional) count of billing quanta — the unit the paper
+/// reports both time and compute cost in. Unlike [`SimDuration`] this is
+/// a *derived*, floating-point quantity produced at the reporting and
+/// gain-model boundary; keeping it as a distinct type stops raw `f64`
+/// quanta from mixing silently with dollars or milliseconds
+/// (DESIGN §7 newtype discipline, enforced by `flowtune-analyze`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Quanta(f64);
+
+impl Quanta {
+    /// Zero quanta.
+    pub const ZERO: Quanta = Quanta(0.0);
+
+    /// Construct from a raw quanta count.
+    pub const fn new(q: f64) -> Self {
+        Quanta(q)
+    }
+
+    /// The raw quanta count.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The duration this many quanta span.
+    pub fn to_duration(self, quantum: SimDuration) -> SimDuration {
+        quantum.mul_f64(self.0.max(0.0))
+    }
+}
+
+impl From<f64> for Quanta {
+    fn from(q: f64) -> Self {
+        Quanta(q)
+    }
+}
+
+impl Add for Quanta {
+    type Output = Quanta;
+    fn add(self, rhs: Quanta) -> Quanta {
+        Quanta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Quanta {
+    fn add_assign(&mut self, rhs: Quanta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Quanta {
+    type Output = Quanta;
+    fn sub(self, rhs: Quanta) -> Quanta {
+        Quanta(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Quanta {
+    type Output = Quanta;
+    fn mul(self, rhs: f64) -> Quanta {
+        Quanta(self.0 * rhs)
+    }
+}
+
+impl Sum for Quanta {
+    fn sum<I: Iterator<Item = Quanta>>(iter: I) -> Quanta {
+        iter.fold(Quanta::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Quanta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}q", self.0)
+    }
+}
+
+impl SimTime {
+    /// Time since simulation start as a [`Quanta`] count.
+    pub fn quanta(self, quantum: SimDuration) -> Quanta {
+        Quanta(self.as_quanta(quantum))
+    }
+}
+
+impl SimDuration {
+    /// This duration as a [`Quanta`] count.
+    pub fn quanta(self, quantum: SimDuration) -> Quanta {
+        Quanta(self.as_quanta(quantum))
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
@@ -265,7 +353,10 @@ mod tests {
         assert_eq!(t.quantum_index(Q), 1);
         assert_eq!(t.quantum_floor(Q), SimTime::from_secs(60));
         assert_eq!(t.quantum_ceil(Q), SimTime::from_secs(120));
-        assert_eq!(SimTime::from_secs(60).quantum_ceil(Q), SimTime::from_secs(60));
+        assert_eq!(
+            SimTime::from_secs(60).quantum_ceil(Q),
+            SimTime::from_secs(60)
+        );
         assert_eq!(SimTime::ZERO.quantum_ceil(Q), SimTime::ZERO);
     }
 
@@ -285,9 +376,24 @@ mod tests {
             SimTime::from_secs(3).saturating_since(SimTime::from_secs(9)),
             SimDuration::ZERO
         );
-        assert_eq!(SimDuration::from_secs(4).mul_f64(2.5), SimDuration::from_secs(10));
+        assert_eq!(
+            SimDuration::from_secs(4).mul_f64(2.5),
+            SimDuration::from_secs(10)
+        );
         let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn quanta_newtype_arithmetic() {
+        let q = SimDuration::from_secs(90).quanta(Q) + SimTime::from_secs(30).quanta(Q);
+        assert!((q.get() - 2.0).abs() < 1e-12);
+        assert!((q - Quanta::new(0.5)).get() - 1.5 < 1e-12);
+        assert!(((q * 2.0).get() - 4.0).abs() < 1e-12);
+        let sum: Quanta = [Quanta::new(1.0), Quanta::new(2.5)].into_iter().sum();
+        assert!((sum.get() - 3.5).abs() < 1e-12);
+        assert_eq!(Quanta::new(1.5).to_duration(Q), SimDuration::from_secs(90));
+        assert_eq!(format!("{}", Quanta::new(1.25)), "1.250q");
     }
 
     #[test]

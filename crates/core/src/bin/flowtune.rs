@@ -39,10 +39,12 @@ fn parse_args() -> Result<(ServiceConfig, bool), String> {
     let mut config = ServiceConfig::default();
     config.workload = WorkloadKind::paper_phases();
     let mut csv = false;
+    // flowtune-allow(determinism): CLI argument parsing is this binary's input boundary
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--policy" => {
@@ -76,31 +78,39 @@ fn parse_args() -> Result<(ServiceConfig, bool), String> {
                 }
             }
             "--quanta" => {
-                config.params.total_quanta =
-                    value("--quanta")?.parse().map_err(|e| format!("--quanta: {e}"))?
+                config.params.total_quanta = value("--quanta")?
+                    .parse()
+                    .map_err(|e| format!("--quanta: {e}"))?
             }
             "--seed" => {
-                config.params.seed =
-                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                config.params.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--alpha" => {
-                config.params.tuner.alpha =
-                    value("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?
+                config.params.tuner.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?
             }
             "--fading-d" => {
-                config.params.tuner.fading_d =
-                    value("--fading-d")?.parse().map_err(|e| format!("--fading-d: {e}"))?
+                config.params.tuner.fading_d = value("--fading-d")?
+                    .parse()
+                    .map_err(|e| format!("--fading-d: {e}"))?
             }
             "--window-w" => {
-                config.params.tuner.window_w =
-                    value("--window-w")?.parse().map_err(|e| format!("--window-w: {e}"))?
+                config.params.tuner.window_w = value("--window-w")?
+                    .parse()
+                    .map_err(|e| format!("--window-w: {e}"))?
             }
             "--concurrency" => {
-                config.concurrency =
-                    value("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?
+                config.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?
             }
             "--error" => {
-                let e: f64 = value("--error")?.parse().map_err(|e| format!("--error: {e}"))?;
+                let e: f64 = value("--error")?
+                    .parse()
+                    .map_err(|e| format!("--error: {e}"))?;
                 config.estimation_error = (e, e);
             }
             "--adaptive" => config.adaptive_fading = true,
@@ -133,7 +143,10 @@ fn main() -> ExitCode {
     println!("policy:              {}", policy.label());
     println!("dataflows issued:    {}", report.dataflows_issued);
     println!("dataflows finished:  {}", report.dataflows_finished);
-    println!("avg time/dataflow:   {:.2} quanta", report.avg_makespan_quanta());
+    println!(
+        "avg time/dataflow:   {:.2} quanta",
+        report.avg_makespan_quanta().get()
+    );
     println!("cost/dataflow:       ${:.3}", report.cost_per_dataflow());
     println!("compute cost:        {}", report.compute_cost);
     println!("index storage cost:  {}", report.index_storage_cost);
@@ -150,7 +163,10 @@ fn main() -> ExitCode {
         for d in &report.per_dataflow {
             println!(
                 "{},{:.3},{:.3},{:.3}",
-                d.app, d.issued_quanta, d.makespan_quanta, d.indexed_fraction
+                d.app,
+                d.issued_quanta.get(),
+                d.makespan_quanta.get(),
+                d.indexed_fraction
             );
         }
     }

@@ -27,9 +27,13 @@ impl ExperimentSetup {
         let mut rng = SimRng::seed_from_u64(params.seed);
         let filedb = FileDatabase::generate(&mut rng);
         let catalog = build_catalog(&filedb);
-        let factory =
-            DataflowFactory::new(filedb.clone(), params.ops_per_dataflow, rng.fork());
-        ExperimentSetup { params, filedb, catalog, factory }
+        let factory = DataflowFactory::new(filedb.clone(), params.ops_per_dataflow, rng.fork());
+        ExperimentSetup {
+            params,
+            filedb,
+            catalog,
+            factory,
+        }
     }
 
     /// A scheduler configuration derived from the cloud parameters.
@@ -50,7 +54,10 @@ impl ExperimentSetup {
             .iter()
             .map(|app| {
                 let reads = self.filedb.partitions_of(*app);
-                (*app, app.generate(self.params.ops_per_dataflow, &reads, &mut rng))
+                (
+                    *app,
+                    app.generate(self.params.ops_per_dataflow, &reads, &mut rng),
+                )
             })
             .collect()
     }

@@ -56,7 +56,10 @@ mod tests {
     fn labels_match_paper_figures() {
         assert_eq!(IndexPolicy::NoIndex.label(), "No Index");
         assert_eq!(IndexPolicy::Random.label(), "Random");
-        assert_eq!(IndexPolicy::Gain { delete: false }.label(), "Gain (no delete)");
+        assert_eq!(
+            IndexPolicy::Gain { delete: false }.label(),
+            "Gain (no delete)"
+        );
         assert_eq!(IndexPolicy::Gain { delete: true }.label(), "Gain");
     }
 

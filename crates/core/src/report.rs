@@ -1,12 +1,12 @@
 //! Run-level reports: the measurements behind Figures 12–14 and Table 7.
 
-use flowtune_common::Money;
+use flowtune_common::{Money, Quanta};
 
 /// One sample of the service state over time (drives Fig. 13).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelinePoint {
     /// Sample time in quanta since service start.
-    pub time_quanta: f64,
+    pub time_quanta: Quanta,
     /// Indexes with at least one built partition.
     pub indexes_built: usize,
     /// Index partitions currently stored.
@@ -23,12 +23,12 @@ pub struct DataflowRecord {
     /// Application name.
     pub app: &'static str,
     /// Issue time in quanta.
-    pub issued_quanta: f64,
+    pub issued_quanta: Quanta,
     /// Execution time in quanta.
-    pub makespan_quanta: f64,
+    pub makespan_quanta: Quanta,
     /// Container-quanta leased for this dataflow (its compute bill in
     /// units of `Mc`).
-    pub cost_quanta: f64,
+    pub cost_quanta: Quanta,
     /// Fraction of the dataflow's partition reads that were served
     /// through a built index during execution.
     pub indexed_fraction: f64,
@@ -46,7 +46,7 @@ pub struct RunReport {
     /// Total index storage cost accrued.
     pub index_storage_cost: Money,
     /// Sum of dataflow execution times, in quanta.
-    pub total_makespan_quanta: f64,
+    pub total_makespan_quanta: Quanta,
     /// Dataflow operators executed.
     pub dataflow_ops: usize,
     /// Build operators that completed.
@@ -92,11 +92,11 @@ impl RunReport {
     }
 
     /// Average execution time per finished dataflow, in quanta.
-    pub fn avg_makespan_quanta(&self) -> f64 {
+    pub fn avg_makespan_quanta(&self) -> Quanta {
         if self.dataflows_finished == 0 {
-            0.0
+            Quanta::ZERO
         } else {
-            self.total_makespan_quanta / self.dataflows_finished as f64
+            self.total_makespan_quanta * (1.0 / self.dataflows_finished as f64)
         }
     }
 }
@@ -128,9 +128,9 @@ pub fn paired_objective(
         if b.app != t.app {
             continue;
         }
-        let dt = b.makespan_quanta - t.makespan_quanta;
+        let dt = (b.makespan_quanta - t.makespan_quanta).get();
         // δmd: leased-quanta delta — the actual compute-bill difference.
-        let dm = b.cost_quanta - t.cost_quanta;
+        let dm = (b.cost_quanta - t.cost_quanta).get();
         total += mc * (alpha * dt + (1.0 - alpha) * dm);
     }
     total - tuned.index_storage_cost.as_dollars()
@@ -147,7 +147,7 @@ mod tests {
             dataflows_finished: 8,
             compute_cost: Money::from_dollars(4.0),
             index_storage_cost: Money::from_dollars(0.8),
-            total_makespan_quanta: 16.0,
+            total_makespan_quanta: Quanta::new(16.0),
             dataflow_ops: 800,
             builds_completed: 150,
             builds_killed: 50,
@@ -158,16 +158,16 @@ mod tests {
         assert_eq!(r.total_ops(), 1000);
         assert!((r.killed_percentage() - 5.0).abs() < 1e-9);
         assert!((r.cost_per_dataflow() - 0.6).abs() < 1e-9);
-        assert!((r.avg_makespan_quanta() - 2.0).abs() < 1e-9);
+        assert!((r.avg_makespan_quanta().get() - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn paired_objective_rewards_time_savings_and_charges_storage() {
         let rec = |mk: f64| DataflowRecord {
             app: "Montage",
-            issued_quanta: 0.0,
-            makespan_quanta: mk,
-            cost_quanta: mk,
+            issued_quanta: Quanta::ZERO,
+            makespan_quanta: Quanta::new(mk),
+            cost_quanta: Quanta::new(mk),
             indexed_fraction: 0.0,
         };
         let mut base = RunReport::default();
@@ -191,6 +191,6 @@ mod tests {
         assert_eq!(r.total_ops(), 0);
         assert_eq!(r.killed_percentage(), 0.0);
         assert_eq!(r.cost_per_dataflow(), 0.0);
-        assert_eq!(r.avg_makespan_quanta(), 0.0);
+        assert_eq!(r.avg_makespan_quanta(), Quanta::ZERO);
     }
 }

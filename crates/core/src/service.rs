@@ -5,12 +5,10 @@
 //! triggers one round of Algorithm 1: tune → schedule → interleave →
 //! execute → record history.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_cloud::{perturb_dag, IndexAvailability, Simulator};
-use flowtune_common::{
-    BuildOpId, DataflowId, ExperimentParams, SimRng, SimTime,
-};
+use flowtune_common::{BuildOpId, DataflowId, ExperimentParams, Quanta, SimRng, SimTime};
 use flowtune_dataflow::{
     filedb::ROW_BYTES, ArrivalClient, Dataflow, DataflowFactory, FileDatabase, WorkloadKind,
 };
@@ -113,10 +111,8 @@ impl QaasService {
         } else {
             OnlineTuner::new(model)
         };
-        let storage =
-            StorageService::new(cloud.storage_price_per_mb_quantum, cloud.quantum);
-        let deferred =
-            DeferredBuildQueue::new(cloud.quantum, cloud.vm_price_per_quantum);
+        let storage = StorageService::new(cloud.storage_price_per_mb_quantum, cloud.quantum);
+        let deferred = DeferredBuildQueue::new(cloud.quantum, cloud.vm_price_per_quantum);
         QaasService {
             config,
             filedb,
@@ -154,8 +150,8 @@ impl QaasService {
         let mut lanes = vec![SimTime::ZERO; self.config.concurrency.max(1)];
         // Gains of the dataflow currently running on each lane (Eq. 4's
         // "currently running" δT = 0 contributions).
-        let mut lane_gains: Vec<HashMap<flowtune_common::IndexId, (f64, f64)>> =
-            vec![HashMap::new(); self.config.concurrency.max(1)];
+        let mut lane_gains: Vec<BTreeMap<flowtune_common::IndexId, (f64, f64)>> =
+            vec![BTreeMap::new(); self.config.concurrency.max(1)];
         let mut next_id = 0u32;
 
         loop {
@@ -165,6 +161,7 @@ impl QaasService {
             }
             let lane = (0..lanes.len())
                 .min_by_key(|&l| lanes[l])
+                // flowtune-allow(panic-hygiene): lanes has params.arrival_lanes entries, validated >= 1
                 .expect("at least one lane");
             let issued = arrival.max(lanes[lane]);
             if issued >= horizon {
@@ -185,7 +182,7 @@ impl QaasService {
                 IndexPolicy::Gain { delete } => {
                     // The queued dataflow plus every dataflow still
                     // running on another lane contribute at δT = 0.
-                    let mut active: Vec<&HashMap<_, _>> = vec![&gains];
+                    let mut active: Vec<&BTreeMap<_, _>> = vec![&gains];
                     for (l, free) in lanes.iter().enumerate() {
                         if l != lane && *free > issued {
                             active.push(&lane_gains[l]);
@@ -205,7 +202,10 @@ impl QaasService {
                             }
                             ops.push(BuildOp {
                                 id: BuildOpId(ops.len() as u32),
-                                build: BuildRef { index: *idx, part: part as u32 },
+                                build: BuildRef {
+                                    index: *idx,
+                                    part: part as u32,
+                                },
                                 duration,
                                 gain: g.g.max(1e-6),
                             });
@@ -218,12 +218,15 @@ impl QaasService {
             // --- Schedule + interleave (Alg. 1 lines 10-11). ---
             let schedule = self.plan(&df, &pending);
             if self.config.deferred_builds {
-                let placed: std::collections::HashSet<BuildRef> = schedule
+                let placed: std::collections::BTreeSet<BuildRef> = schedule
                     .build_assignments()
                     .filter_map(|a| a.build)
                     .collect();
                 self.deferred.defer(
-                    pending.iter().filter(|b| !placed.contains(&b.build)).copied(),
+                    pending
+                        .iter()
+                        .filter(|b| !placed.contains(&b.build))
+                        .copied(),
                 );
                 for b in &placed {
                     self.deferred.remove(b);
@@ -243,7 +246,13 @@ impl QaasService {
             let availability = self.availability_at(issued);
             let exec = {
                 let sim = Simulator::new(cloud.clone(), &self.filedb);
-                sim.execute(&actual, &schedule, &df.index_uses, &availability, &HashMap::new())
+                sim.execute(
+                    &actual,
+                    &schedule,
+                    &df.index_uses,
+                    &availability,
+                    &BTreeMap::new(),
+                )
             };
             let finish = issued + exec.makespan;
 
@@ -278,7 +287,9 @@ impl QaasService {
             });
             self.tuner.history.prune(
                 finish,
-                cloud.quantum.mul_f64(4.0 * self.config.params.tuner.window_w),
+                cloud
+                    .quantum
+                    .mul_f64(4.0 * self.config.params.tuner.window_w),
             );
 
             // --- Metrics. ---
@@ -288,7 +299,7 @@ impl QaasService {
             report.builds_killed += exec.killed_builds.len();
             if finish <= horizon {
                 report.dataflows_finished += 1;
-                report.total_makespan_quanta += exec.makespan.as_quanta(cloud.quantum);
+                report.total_makespan_quanta += exec.makespan.quanta(cloud.quantum);
             }
             self.last_settle = settled_to.min(horizon);
             self.storage.settle(self.last_settle);
@@ -300,13 +311,13 @@ impl QaasService {
             };
             report.per_dataflow.push(crate::report::DataflowRecord {
                 app: df.app.name(),
-                issued_quanta: issued.as_quanta(cloud.quantum),
-                makespan_quanta: exec.makespan.as_quanta(cloud.quantum),
-                cost_quanta: exec.leased_quanta as f64,
+                issued_quanta: issued.quanta(cloud.quantum),
+                makespan_quanta: exec.makespan.quanta(cloud.quantum),
+                cost_quanta: Quanta::new(exec.leased_quanta as f64),
                 indexed_fraction: indexed,
             });
             report.timeline.push(TimelinePoint {
-                time_quanta: finish.as_quanta(cloud.quantum),
+                time_quanta: finish.quanta(cloud.quantum),
                 indexes_built: self
                     .catalog
                     .ids()
@@ -333,8 +344,7 @@ impl QaasService {
                         if !self.catalog.is_partition_built(op.build.index, part) {
                             let commit = at.max(self.last_settle).min(horizon);
                             self.catalog.mark_built(op.build.index, part, commit, 0);
-                            let bytes =
-                                self.catalog.spec(op.build.index).partition_bytes(part);
+                            let bytes = self.catalog.spec(op.build.index).partition_bytes(part);
                             self.storage.put(
                                 ObjectKey::IndexPart(op.build.index, op.build.part),
                                 bytes,
@@ -365,11 +375,9 @@ impl QaasService {
         };
         match (self.config.scheduler, self.config.interleaver) {
             (SchedulerKind::OnlineLoadBalance, _) => {
-                let mut schedule = OnlineLoadBalanceScheduler::new(
-                    cloud.max_containers,
-                    cloud.network_bandwidth,
-                )
-                .schedule(&df.dag);
+                let mut schedule =
+                    OnlineLoadBalanceScheduler::new(cloud.max_containers, cloud.network_bandwidth)
+                        .schedule(&df.dag);
                 if !pending.is_empty() {
                     LpInterleaver::new(cloud.quantum).interleave(&mut schedule, pending);
                 }
@@ -385,8 +393,7 @@ impl QaasService {
                 schedule
             }
             (SchedulerKind::Skyline, InterleaverKind::Online) => {
-                let interleaver =
-                    OnlineInterleaver::new(SkylineScheduler::new(sched_config));
+                let interleaver = OnlineInterleaver::new(SkylineScheduler::new(sched_config));
                 interleaver.schedule(&df.dag, pending).remove(0)
             }
         }
@@ -397,16 +404,18 @@ impl QaasService {
     fn random_pending(&mut self) -> Vec<BuildOp> {
         let mut ops = Vec::new();
         for _ in 0..3 {
-            let idx = flowtune_common::IndexId(
-                self.rng.uniform_u64(0, self.catalog.len() as u64) as u32,
-            );
+            let idx =
+                flowtune_common::IndexId(self.rng.uniform_u64(0, self.catalog.len() as u64) as u32);
             for (part, duration, _) in self.catalog.remaining_build_ops(idx) {
                 if ops.len() >= self.config.max_pending_build_ops {
                     return ops;
                 }
                 ops.push(BuildOp {
                     id: BuildOpId(ops.len() as u32),
-                    build: BuildRef { index: idx, part: part as u32 },
+                    build: BuildRef {
+                        index: idx,
+                        part: part as u32,
+                    },
                     duration,
                     gain: 1.0,
                 });
@@ -415,7 +424,12 @@ impl QaasService {
         ops
     }
 
-    fn delete_index(&mut self, idx: flowtune_common::IndexId, now: SimTime, report: &mut RunReport) {
+    fn delete_index(
+        &mut self,
+        idx: flowtune_common::IndexId,
+        now: SimTime,
+        report: &mut RunReport,
+    ) {
         let parts = self.catalog.state(idx).parts.len();
         let freed = self.catalog.delete_index(idx);
         if freed > 0 {
@@ -424,7 +438,8 @@ impl QaasService {
                 // Never bill backwards: a build committed in the previous
                 // dataflow's tail slot may have settled past `now`.
                 let at = now.max(self.last_settle);
-                self.storage.delete(&ObjectKey::IndexPart(idx, part as u32), at);
+                self.storage
+                    .delete(&ObjectKey::IndexPart(idx, part as u32), at);
             }
         }
     }
@@ -438,7 +453,11 @@ impl QaasService {
             }
             for (part, built) in state.parts.iter().enumerate() {
                 if built.is_some_and(|b| b.built_at <= now) {
-                    avail.add(idx, part as u32, self.catalog.spec(idx).partition_bytes(part));
+                    avail.add(
+                        idx,
+                        part as u32,
+                        self.catalog.spec(idx).partition_bytes(part),
+                    );
                 }
             }
         }
@@ -450,8 +469,12 @@ impl QaasService {
 pub fn build_catalog(filedb: &FileDatabase) -> IndexCatalog {
     let mut catalog = IndexCatalog::new();
     for pi in filedb.potential_indexes() {
-        let rows: Vec<u64> =
-            filedb.file(pi.file).partitions.iter().map(|p| p.rows).collect();
+        let rows: Vec<u64> = filedb
+            .file(pi.file)
+            .partitions
+            .iter()
+            .map(|p| p.rows)
+            .collect();
         let id = catalog.add(IndexSpec {
             id: pi.id,
             file: pi.file,

@@ -120,12 +120,7 @@ impl App {
     /// `reads` are distributed round-robin over the entry-level
     /// operators; pass the partitions of this app's files from the file
     /// database.
-    pub fn generate(
-        self,
-        target_ops: usize,
-        reads: &[PartitionId],
-        rng: &mut SimRng,
-    ) -> Dag {
+    pub fn generate(self, target_ops: usize, reads: &[PartitionId], rng: &mut SimRng) -> Dag {
         match self {
             App::Montage => montage(target_ops, reads, rng),
             App::Ligo => ligo(target_ops, reads, rng),
@@ -143,7 +138,11 @@ struct Builder {
 
 impl Builder {
     fn new(app: App) -> Self {
-        Builder { app, ops: Vec::new(), edges: Vec::new() }
+        Builder {
+            app,
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     fn add(&mut self, name: &str, rng: &mut SimRng) -> OpId {
@@ -175,6 +174,7 @@ impl Builder {
                 ops[i % n_ops].reads.push(reads[i % reads.len()]);
             }
         }
+        // flowtune-allow(panic-hygiene): edges only connect ops this generator just created, earlier to later
         Dag::new(ops, self.edges).expect("generator produced invalid DAG")
     }
 }
@@ -277,7 +277,9 @@ mod tests {
     use flowtune_common::{FileId, OnlineStats};
 
     fn parts(n: u32) -> Vec<PartitionId> {
-        (0..n).map(|i| PartitionId::new(FileId(i / 4), i % 4)).collect()
+        (0..n)
+            .map(|i| PartitionId::new(FileId(i / 4), i % 4))
+            .collect()
     }
 
     #[test]
@@ -343,8 +345,18 @@ mod tests {
                     stats.push(op.runtime.as_secs_f64());
                 }
             }
-            assert!(stats.min() >= min - 1e-9, "{} min {}", app.name(), stats.min());
-            assert!(stats.max() <= max + 1e-9, "{} max {}", app.name(), stats.max());
+            assert!(
+                stats.min() >= min - 1e-9,
+                "{} min {}",
+                app.name(),
+                stats.min()
+            );
+            assert!(
+                stats.max() <= max + 1e-9,
+                "{} max {}",
+                app.name(),
+                stats.max()
+            );
             // Clamping biases the mean slightly; accept 25 %.
             let tol = 0.25 * mean;
             assert!(
@@ -363,7 +375,14 @@ mod tests {
         let dag = App::Montage.generate(100, &[], &mut rng);
         let names: std::collections::HashSet<&str> =
             dag.ops().iter().map(|o| o.name.as_str()).collect();
-        for stage in ["mProject", "mDiffFit", "mConcatFit", "mBgModel", "mBackground", "mAdd"] {
+        for stage in [
+            "mProject",
+            "mDiffFit",
+            "mConcatFit",
+            "mBgModel",
+            "mBackground",
+            "mAdd",
+        ] {
             assert!(names.contains(stage), "missing {stage}");
         }
         // mProject ops are the roots.

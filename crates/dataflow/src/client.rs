@@ -64,8 +64,16 @@ impl ArrivalClient {
     /// Create a client; `mean_interarrival` is the Poisson λ expressed
     /// as a mean gap (Table 3: one quantum = 60 s).
     pub fn new(kind: WorkloadKind, mean_interarrival: SimDuration, rng: SimRng) -> Self {
-        assert!(!mean_interarrival.is_zero(), "mean inter-arrival must be positive");
-        let mut client = ArrivalClient { kind, mean_interarrival, rng, next_time: SimTime::ZERO };
+        assert!(
+            !mean_interarrival.is_zero(),
+            "mean inter-arrival must be positive"
+        );
+        let mut client = ArrivalClient {
+            kind,
+            mean_interarrival,
+            rng,
+            next_time: SimTime::ZERO,
+        };
         client.advance();
         client
     }
@@ -108,8 +116,15 @@ mod tests {
         let horizon = SimTime::ZERO + q(720);
         let arrivals = c.arrivals_until(horizon);
         // 720 expected; Poisson stdev ~27.
-        assert!((620..820).contains(&arrivals.len()), "{} arrivals", arrivals.len());
-        assert!(arrivals.windows(2).all(|w| w[0].0 < w[1].0), "arrivals must be ordered");
+        assert!(
+            (620..820).contains(&arrivals.len()),
+            "{} arrivals",
+            arrivals.len()
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0].0 < w[1].0),
+            "arrivals must be ordered"
+        );
     }
 
     #[test]
@@ -126,13 +141,28 @@ mod tests {
     fn phases_switch_apps_at_boundaries() {
         let kind = WorkloadKind::paper_phases();
         let mut rng = SimRng::seed_from_u64(3);
-        assert_eq!(kind.app_at(SimTime::from_secs(0), &mut rng), App::Cybershake);
-        assert_eq!(kind.app_at(SimTime::from_secs(9_999), &mut rng), App::Cybershake);
+        assert_eq!(
+            kind.app_at(SimTime::from_secs(0), &mut rng),
+            App::Cybershake
+        );
+        assert_eq!(
+            kind.app_at(SimTime::from_secs(9_999), &mut rng),
+            App::Cybershake
+        );
         assert_eq!(kind.app_at(SimTime::from_secs(10_000), &mut rng), App::Ligo);
-        assert_eq!(kind.app_at(SimTime::from_secs(15_000), &mut rng), App::Montage);
-        assert_eq!(kind.app_at(SimTime::from_secs(35_000), &mut rng), App::Cybershake);
+        assert_eq!(
+            kind.app_at(SimTime::from_secs(15_000), &mut rng),
+            App::Montage
+        );
+        assert_eq!(
+            kind.app_at(SimTime::from_secs(35_000), &mut rng),
+            App::Cybershake
+        );
         // Past the last phase: keeps issuing the final app.
-        assert_eq!(kind.app_at(SimTime::from_secs(99_999), &mut rng), App::Cybershake);
+        assert_eq!(
+            kind.app_at(SimTime::from_secs(99_999), &mut rng),
+            App::Cybershake
+        );
     }
 
     #[test]

@@ -54,12 +54,20 @@ impl Dag {
                 )));
             }
             if e.from == e.to {
-                return Err(FlowtuneError::invalid_dag(format!("self edge at {}", e.from)));
+                return Err(FlowtuneError::invalid_dag(format!(
+                    "self edge at {}",
+                    e.from
+                )));
             }
             preds[e.to.index()].push(e.from);
             succs[e.from.index()].push(e.to);
         }
-        let dag = Dag { ops, edges, preds, succs };
+        let dag = Dag {
+            ops,
+            edges,
+            preds,
+            succs,
+        };
         // Kahn's algorithm detects cycles.
         if dag.topo_order().len() != n {
             return Err(FlowtuneError::invalid_dag("cycle detected"));
@@ -133,8 +141,10 @@ impl Dag {
     pub fn topo_order(&self) -> Vec<OpId> {
         let n = self.ops.len();
         let mut in_deg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut queue: std::collections::VecDeque<OpId> =
-            (0..n).map(OpId::from_index).filter(|id| in_deg[id.index()] == 0).collect();
+        let mut queue: std::collections::VecDeque<OpId> = (0..n)
+            .map(OpId::from_index)
+            .filter(|id| in_deg[id.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop_front() {
             order.push(id);
@@ -205,10 +215,26 @@ mod tests {
         Dag::new(
             vec![op(0, 1), op(1, 2), op(2, 5), op(3, 1)],
             vec![
-                Edge { from: OpId(0), to: OpId(1), bytes: 10 },
-                Edge { from: OpId(0), to: OpId(2), bytes: 20 },
-                Edge { from: OpId(1), to: OpId(3), bytes: 30 },
-                Edge { from: OpId(2), to: OpId(3), bytes: 40 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(1),
+                    bytes: 10,
+                },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 20,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(3),
+                    bytes: 30,
+                },
+                Edge {
+                    from: OpId(2),
+                    to: OpId(3),
+                    bytes: 40,
+                },
             ],
         )
         .unwrap()
@@ -250,8 +276,16 @@ mod tests {
         let err = Dag::new(
             vec![op(0, 1), op(1, 1)],
             vec![
-                Edge { from: OpId(0), to: OpId(1), bytes: 0 },
-                Edge { from: OpId(1), to: OpId(0), bytes: 0 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(1),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(0),
+                    bytes: 0,
+                },
             ],
         )
         .unwrap_err();
@@ -260,9 +294,15 @@ mod tests {
 
     #[test]
     fn self_edge_rejected() {
-        let err =
-            Dag::new(vec![op(0, 1)], vec![Edge { from: OpId(0), to: OpId(0), bytes: 0 }])
-                .unwrap_err();
+        let err = Dag::new(
+            vec![op(0, 1)],
+            vec![Edge {
+                from: OpId(0),
+                to: OpId(0),
+                bytes: 0,
+            }],
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("self edge"));
     }
 
@@ -272,7 +312,11 @@ mod tests {
         assert!(err.to_string().contains("has id"));
         let err = Dag::new(
             vec![op(0, 1)],
-            vec![Edge { from: OpId(0), to: OpId(7), bytes: 0 }],
+            vec![Edge {
+                from: OpId(0),
+                to: OpId(7),
+                bytes: 0,
+            }],
         )
         .unwrap_err();
         assert!(err.to_string().contains("missing operator"));

@@ -47,7 +47,10 @@ impl Dataflow {
     /// The speedup this dataflow gets from `index`, or `None` if the
     /// dataflow does not use it.
     pub fn speedup_of(&self, index: IndexId) -> Option<f64> {
-        self.index_uses.iter().find(|u| u.index == index).map(|u| u.speedup)
+        self.index_uses
+            .iter()
+            .find(|u| u.index == index)
+            .map(|u| u.speedup)
     }
 
     /// The best usable index (and its speedup) for a given file, if any.
@@ -60,8 +63,12 @@ impl Dataflow {
 
     /// Distinct files read by this dataflow's operators.
     pub fn files_read(&self) -> Vec<FileId> {
-        let mut files: Vec<FileId> =
-            self.dag.ops().iter().flat_map(|o| o.reads.iter().map(|p| p.file)).collect();
+        let mut files: Vec<FileId> = self
+            .dag
+            .ops()
+            .iter()
+            .flat_map(|o| o.reads.iter().map(|p| p.file))
+            .collect();
         files.sort_unstable();
         files.dedup();
         files
@@ -80,7 +87,11 @@ impl DataflowFactory {
     /// Create a factory. `ops_per_dataflow` is the target DAG size
     /// (Table 3: 100).
     pub fn new(filedb: FileDatabase, ops_per_dataflow: usize, rng: SimRng) -> Self {
-        DataflowFactory { filedb, ops_per_dataflow, rng }
+        DataflowFactory {
+            filedb,
+            ops_per_dataflow,
+            rng,
+        }
     }
 
     /// Access the underlying file database.
@@ -114,9 +125,16 @@ impl DataflowFactory {
         keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
         let hi = 5.min(app_files.len()) as u64;
         let lo = 2.min(hi) as u64;
-        let n_files = if lo < hi { self.rng.uniform_u64(lo, hi + 1) } else { hi } as usize;
-        let chosen: Vec<FileId> =
-            keyed.into_iter().take(n_files.max(1)).map(|(_, f)| f).collect();
+        let n_files = if lo < hi {
+            self.rng.uniform_u64(lo, hi + 1)
+        } else {
+            hi
+        } as usize;
+        let chosen: Vec<FileId> = keyed
+            .into_iter()
+            .take(n_files.max(1))
+            .map(|(_, f)| f)
+            .collect();
 
         let reads: Vec<_> = chosen
             .iter()
@@ -138,10 +156,20 @@ impl DataflowFactory {
                     candidates[pick].id
                 };
                 let speedup = *self.rng.choose(&TABLE6_SPEEDUPS);
-                index_uses.push(IndexUse { index, file: p.file, speedup });
+                index_uses.push(IndexUse {
+                    index,
+                    file: p.file,
+                    speedup,
+                });
             }
         }
-        Dataflow { id, app, dag, issued_at, index_uses }
+        Dataflow {
+            id,
+            app,
+            dag,
+            issued_at,
+            index_uses,
+        }
     }
 }
 
@@ -173,7 +201,11 @@ mod tests {
         let df = f.make(DataflowId(1), App::Ligo, SimTime::from_secs(60));
         assert_eq!(df.index_uses.len(), df.files_read().len());
         for u in &df.index_uses {
-            assert!(TABLE6_SPEEDUPS.contains(&u.speedup), "speedup {}", u.speedup);
+            assert!(
+                TABLE6_SPEEDUPS.contains(&u.speedup),
+                "speedup {}",
+                u.speedup
+            );
             let spec = &f.filedb().potential_indexes()[u.index.index()];
             assert_eq!(spec.file, u.file);
         }

@@ -19,8 +19,12 @@ pub const ROW_BYTES: f64 = 117.0;
 
 /// The four indexable columns with their average key sizes in bytes
 /// (from the TPC-H `lineitem` statistics behind Table 5).
-pub const INDEX_COLUMNS: [(&str, f64); 4] =
-    [("comment", 27.0), ("shipinstruct", 12.0), ("commitdate", 10.0), ("orderkey", 4.0)];
+pub const INDEX_COLUMNS: [(&str, f64); 4] = [
+    ("comment", 27.0),
+    ("shipinstruct", 12.0),
+    ("commitdate", 10.0),
+    ("orderkey", 4.0),
+];
 
 /// One partition of a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +92,12 @@ impl FileDatabase {
             for _ in 0..app.stats().input_files {
                 let id = FileId::from_index(files.len());
                 let bytes = app.sample_file_bytes(rng);
-                files.push(FileEntry { id, app, bytes, partitions: partition(id, bytes) });
+                files.push(FileEntry {
+                    id,
+                    app,
+                    bytes,
+                    partitions: partition(id, bytes),
+                });
             }
         }
         let mut indexes = Vec::new();
@@ -122,7 +131,9 @@ impl FileDatabase {
 
     /// All partitions of one application's files, in id order.
     pub fn partitions_of(&self, app: App) -> Vec<PartitionId> {
-        self.files_of(app).flat_map(|f| f.partitions.iter().map(|p| p.id)).collect()
+        self.files_of(app)
+            .flat_map(|f| f.partitions.iter().map(|p| p.id))
+            .collect()
     }
 
     /// Partition info by id.
@@ -145,7 +156,10 @@ impl FileDatabase {
     /// Deterministic per file, spread across the four columns.
     pub fn primary_index_of(&self, file: FileId) -> &PotentialIndex {
         let pick = (file.0 as usize).wrapping_mul(2654435761) % INDEX_COLUMNS.len();
-        self.indexes_of(file).nth(pick).expect("every file has four indexes")
+        self.indexes_of(file)
+            .nth(pick)
+            // flowtune-allow(panic-hygiene): indexes_of yields one entry per INDEX_COLUMNS and pick < its length
+            .expect("every file has four indexes")
     }
 
     /// Total bytes across all files.
@@ -232,8 +246,7 @@ mod tests {
     #[test]
     fn index_record_sizes_reproduce_table5_ordering() {
         let db = db();
-        let recs: Vec<f64> =
-            db.indexes_of(FileId(0)).map(|i| i.rec_bytes()).collect();
+        let recs: Vec<f64> = db.indexes_of(FileId(0)).map(|i| i.rec_bytes()).collect();
         // comment > shipinstruct > commitdate > orderkey, as in Table 5.
         assert!(recs.windows(2).all(|w| w[0] > w[1]), "{recs:?}");
         // Percent of table size: comment ≈ 30 %, orderkey ≈ 10 %.

@@ -46,7 +46,11 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
     pub fn new(order: usize) -> Self {
         assert!(order >= 3, "B+Tree order must be at least 3");
         BPlusTree {
-            nodes: vec![Node::Leaf { keys: Vec::new(), rows: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                rows: Vec::new(),
+                next: None,
+            }],
             root: 0,
             order,
             len: 0,
@@ -97,7 +101,12 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
             level = upper;
         }
         let root = level[0].1;
-        BPlusTree { nodes, root, order, len: pairs.len() }
+        BPlusTree {
+            nodes,
+            root,
+            order,
+            len: pairs.len(),
+        }
     }
 
     /// Number of stored entries.
@@ -136,7 +145,10 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
             // Root split: create a new root.
             let old_root = self.root;
             let id = self.nodes.len() as u32;
-            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
             self.root = id;
         }
         self.len += 1;
@@ -186,8 +198,11 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
                 let right_keys: Vec<K> = keys.split_off(mid);
                 let right_rows: Vec<u32> = rows.split_off(mid);
                 let sep = right_keys[0].clone();
-                let right =
-                    Node::Leaf { keys: right_keys, rows: right_rows, next: next.take() };
+                let right = Node::Leaf {
+                    keys: right_keys,
+                    rows: right_rows,
+                    next: next.take(),
+                };
                 *next = Some(new_id);
                 (sep, right)
             }
@@ -203,9 +218,16 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
             Node::Internal { keys, children } => {
                 let mid = keys.len() / 2;
                 let right_keys: Vec<K> = keys.split_off(mid + 1);
+                // flowtune-allow(panic-hygiene): split is only called on overfull nodes, so mid >= 1 keys remain
                 let sep = keys.pop().expect("internal node must have a middle key");
                 let right_children: Vec<u32> = children.split_off(mid + 1);
-                (sep, Node::Internal { keys: right_keys, children: right_children })
+                (
+                    sep,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )
             }
             Node::Leaf { .. } => unreachable!("split_internal on leaf node"),
         };
@@ -292,7 +314,13 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
     /// Ordered iterator over all `(key, row)` with `lo ≤ key ≤ hi`.
     pub fn range<'a>(&'a self, lo: &'a K, hi: &'a K) -> RangeIter<'a, K> {
         let (leaf, pos) = self.seek(lo);
-        RangeIter { tree: self, leaf: Some(leaf), pos, lo: Some(lo), hi: Some(hi) }
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+            lo: Some(lo),
+            hi: Some(hi),
+        }
     }
 
     /// Ordered iterator over every `(key, row)` entry.
@@ -305,7 +333,13 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
                 Node::Leaf { .. } => break,
             }
         }
-        RangeIter { tree: self, leaf: Some(node), pos: 0, lo: None, hi: None }
+        RangeIter {
+            tree: self,
+            leaf: Some(node),
+            pos: 0,
+            lo: None,
+            hi: None,
+        }
     }
 
     /// Verify structural invariants (sortedness, key/child arity, leaf
@@ -361,6 +395,7 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
 }
 
 /// Ordered iterator over `(key, row)` pairs of a [`BPlusTree`].
+#[derive(Debug)]
 pub struct RangeIter<'a, K> {
     tree: &'a BPlusTree<K>,
     leaf: Option<u32>,
@@ -407,7 +442,7 @@ impl<'a, K: Ord + Clone + Debug> Iterator for RangeIter<'a, K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use flowtune_common::SimRng;
 
     #[test]
     fn empty_tree() {
@@ -503,7 +538,10 @@ mod tests {
     #[test]
     fn string_keys_work() {
         let mut t = BPlusTree::new(4);
-        for (i, w) in ["pear", "apple", "fig", "date", "cherry"].iter().enumerate() {
+        for (i, w) in ["pear", "apple", "fig", "date", "cherry"]
+            .iter()
+            .enumerate()
+        {
             t.insert((*w).to_owned(), i as u32);
         }
         let inorder: Vec<String> = t.iter().map(|(k, _)| k.clone()).collect();
@@ -561,37 +599,44 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn remove_matches_multiset_reference(
-            ops in proptest::collection::vec((0i64..20, 0u32..8, proptest::bool::ANY), 0..300)
-        ) {
+    #[test]
+    fn remove_matches_multiset_reference() {
+        let mut rng = SimRng::seed_from_u64(0xB71);
+        for _ in 0..60 {
+            let n_ops = rng.uniform_u64(0, 300) as usize;
             let mut t = BPlusTree::new(4);
             let mut reference: Vec<(i64, u32)> = Vec::new();
-            for (k, r, is_insert) in ops {
-                if is_insert {
+            for _ in 0..n_ops {
+                let k = rng.uniform_i64(0, 20);
+                let r = rng.uniform_u64(0, 8) as u32;
+                if rng.chance(0.5) {
                     t.insert(k, r);
                     reference.push((k, r));
                 } else {
                     let expect = reference.iter().position(|&e| e == (k, r));
                     let got = t.remove(&k, r);
-                    prop_assert_eq!(got, expect.is_some());
+                    assert_eq!(got, expect.is_some());
                     if let Some(pos) = expect {
                         reference.swap_remove(pos);
                     }
                 }
             }
-            prop_assert_eq!(t.len(), reference.len());
+            assert_eq!(t.len(), reference.len());
             let mut got: Vec<(i64, u32)> = t.iter().map(|(k, r)| (*k, r)).collect();
             got.sort_unstable();
             reference.sort_unstable();
-            prop_assert_eq!(got, reference);
+            assert_eq!(got, reference);
             t.check_invariants().unwrap();
         }
+    }
 
-        #[test]
-        fn matches_sorted_reference(mut keys in proptest::collection::vec(-1000i64..1000, 0..400),
-                                    order in 3usize..16) {
+    #[test]
+    fn matches_sorted_reference() {
+        let mut rng = SimRng::seed_from_u64(0xB72);
+        for _ in 0..60 {
+            let n = rng.uniform_u64(0, 400) as usize;
+            let mut keys: Vec<i64> = (0..n).map(|_| rng.uniform_i64(-1000, 1000)).collect();
+            let order = rng.uniform_u64(3, 16) as usize;
             let mut t = BPlusTree::new(order);
             for (i, k) in keys.iter().enumerate() {
                 t.insert(*k, i as u32);
@@ -599,20 +644,25 @@ mod tests {
             t.check_invariants().unwrap();
             let got: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
             keys.sort_unstable();
-            prop_assert_eq!(got, keys);
+            assert_eq!(got, keys);
         }
+    }
 
-        #[test]
-        fn range_equals_filter(keys in proptest::collection::vec(0i64..200, 1..300),
-                               lo in 0i64..200, width in 0i64..100) {
-            let hi = lo + width;
+    #[test]
+    fn range_equals_filter() {
+        let mut rng = SimRng::seed_from_u64(0xB73);
+        for _ in 0..100 {
+            let n = rng.uniform_u64(1, 300) as usize;
+            let keys: Vec<i64> = (0..n).map(|_| rng.uniform_i64(0, 200)).collect();
+            let lo = rng.uniform_i64(0, 200);
+            let hi = lo + rng.uniform_i64(0, 100);
             let mut t = BPlusTree::new(6);
             for (i, k) in keys.iter().enumerate() {
                 t.insert(*k, i as u32);
             }
             let got = t.range(&lo, &hi).count();
             let expect = keys.iter().filter(|k| (lo..=hi).contains(*k)).count();
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect);
         }
     }
 }

@@ -54,7 +54,9 @@ impl IndexSpec {
 
     /// Total size in bytes when fully built.
     pub fn total_bytes(&self) -> u64 {
-        (0..self.partition_count()).map(|p| self.partition_bytes(p)).sum()
+        (0..self.partition_count())
+            .map(|p| self.partition_bytes(p))
+            .sum()
     }
 
     /// Time to build index partition `part`.
@@ -64,7 +66,9 @@ impl IndexSpec {
 
     /// Total time `ti(idx)` to build every partition sequentially.
     pub fn total_build_time(&self) -> SimDuration {
-        (0..self.partition_count()).map(|p| self.partition_build_time(p)).sum()
+        (0..self.partition_count())
+            .map(|p| self.partition_build_time(p))
+            .sum()
     }
 }
 
@@ -87,7 +91,9 @@ pub struct IndexState {
 
 impl IndexState {
     fn new(partitions: usize) -> Self {
-        IndexState { parts: vec![None; partitions] }
+        IndexState {
+            parts: vec![None; partitions],
+        }
     }
 
     /// Number of built partitions.
@@ -178,7 +184,10 @@ impl IndexCatalog {
     /// Record that index partition `part` finished building at `now`
     /// against table-partition `version`.
     pub fn mark_built(&mut self, id: IndexId, part: usize, now: SimTime, version: u32) {
-        self.states[id.index()].parts[part] = Some(BuiltPartition { built_at: now, version });
+        self.states[id.index()].parts[part] = Some(BuiltPartition {
+            built_at: now,
+            version,
+        });
     }
 
     /// A batch update bumped `file`'s partition `part` to `new_version`:
@@ -251,7 +260,10 @@ impl IndexCatalog {
 
     /// Remaining total build time `ti` for the unbuilt partitions of `id`.
     pub fn remaining_build_time(&self, id: IndexId) -> SimDuration {
-        self.remaining_build_ops(id).iter().map(|(_, t, _)| *t).sum()
+        self.remaining_build_ops(id)
+            .iter()
+            .map(|(_, t, _)| *t)
+            .sum()
     }
 }
 

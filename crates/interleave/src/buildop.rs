@@ -37,7 +37,10 @@ mod tests {
     fn schedule_ids_are_disjoint_from_dataflow_ids() {
         let op = BuildOp {
             id: BuildOpId(5),
-            build: BuildRef { index: IndexId(2), part: 7 },
+            build: BuildRef {
+                index: IndexId(2),
+                part: 7,
+            },
             duration: SimDuration::from_secs(10),
             gain: 1.5,
         };

@@ -47,7 +47,12 @@ pub struct DeferredBuildQueue {
 impl DeferredBuildQueue {
     /// Create an empty queue for the given billing model.
     pub fn new(quantum: SimDuration, vm_price: Money) -> Self {
-        DeferredBuildQueue { pending: Vec::new(), quantum, vm_price, safety_factor: 1.5 }
+        DeferredBuildQueue {
+            pending: Vec::new(),
+            quantum,
+            vm_price,
+            safety_factor: 1.5,
+        }
     }
 
     /// Add operators that failed to interleave. Duplicates (same build
@@ -121,7 +126,11 @@ impl DeferredBuildQueue {
         }
         self.pending = rest;
         let quanta = pricing::quanta_to_cover(used, self.quantum);
-        Some(BatchBuild { ops, quanta, cost: pricing::compute_cost(quanta, self.vm_price) })
+        Some(BatchBuild {
+            ops,
+            quanta,
+            cost: pricing::compute_cost(quanta, self.vm_price),
+        })
     }
 }
 
@@ -136,7 +145,10 @@ mod tests {
     fn op(i: u32, secs: u64, gain: f64) -> BuildOp {
         BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i), part: 0 },
+            build: BuildRef {
+                index: IndexId(i),
+                part: 0,
+            },
             duration: SimDuration::from_secs(secs),
             gain,
         }
@@ -151,7 +163,10 @@ mod tests {
         let mut q = queue();
         // 30 s of builds -> 1 quantum lease = $0.1; threshold 1.5x = $0.15.
         q.defer([op(0, 30, 0.05)]);
-        assert!(q.try_flush().is_none(), "gain below threshold must not flush");
+        assert!(
+            q.try_flush().is_none(),
+            "gain below threshold must not flush"
+        );
         q.defer([op(1, 20, 0.2)]);
         let batch = q.try_flush().expect("now profitable");
         assert_eq!(batch.ops.len(), 2);
@@ -184,7 +199,10 @@ mod tests {
     fn remove_unqueues() {
         let mut q = queue();
         q.defer([op(0, 10, 1.0), op(1, 10, 1.0)]);
-        q.remove(&BuildRef { index: IndexId(0), part: 0 });
+        q.remove(&BuildRef {
+            index: IndexId(0),
+            part: 0,
+        });
         assert_eq!(q.len(), 1);
     }
 

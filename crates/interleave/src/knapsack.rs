@@ -25,9 +25,7 @@ pub struct KnapsackSolution {
 pub fn fractional_upper_bound(capacity: u64, sizes: &[u64], values: &[f64]) -> f64 {
     assert_eq!(sizes.len(), values.len(), "sizes/values length mismatch");
     let mut order: Vec<usize> = (0..sizes.len()).filter(|&i| values[i] > 0.0).collect();
-    order.sort_by(|&a, &b| {
-        density(values[b], sizes[b]).total_cmp(&density(values[a], sizes[a]))
-    });
+    order.sort_by(|&a, &b| density(values[b], sizes[b]).total_cmp(&density(values[a], sizes[a])));
     let mut remaining = capacity;
     let mut bound = 0.0;
     for i in order {
@@ -173,7 +171,11 @@ pub fn solve_knapsack_budgeted(
     let mut chosen = search.best_chosen;
     chosen.sort_unstable();
     let size = chosen.iter().map(|&i| sizes[i]).sum();
-    KnapsackSolution { chosen, value: search.best_value, size }
+    KnapsackSolution {
+        chosen,
+        value: search.best_value,
+        size,
+    }
 }
 
 /// Exact 0/1 knapsack (default node budget of 2 million).
@@ -222,7 +224,7 @@ pub fn merged_upper_bound(slots: &[u64], sizes: &[u64], values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use flowtune_common::SimRng;
 
     #[test]
     fn knapsack_known_optimum() {
@@ -297,43 +299,53 @@ mod tests {
         assert!((ub - 16.0).abs() < 1e-9);
     }
 
-    proptest! {
-        #[test]
-        fn bnb_matches_dp_reference(
-            items in proptest::collection::vec((1u64..30, 0u64..100), 0..14),
-            capacity in 0u64..120,
-        ) {
-            let sizes: Vec<u64> = items.iter().map(|(s, _)| *s).collect();
-            let values: Vec<f64> = items.iter().map(|(_, v)| *v as f64).collect();
+    fn random_items(rng: &mut SimRng, max_n: u64) -> (Vec<u64>, Vec<f64>, Vec<u64>) {
+        let n = rng.uniform_u64(0, max_n) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1, 30)).collect();
+        let raw_values: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 100)).collect();
+        let values: Vec<f64> = raw_values.iter().map(|&v| v as f64).collect();
+        (sizes, values, raw_values)
+    }
+
+    #[test]
+    fn bnb_matches_dp_reference() {
+        let mut rng = SimRng::seed_from_u64(0x1CA7);
+        for _ in 0..120 {
+            let (sizes, values, raw_values) = random_items(&mut rng, 14);
+            let capacity = rng.uniform_u64(0, 120);
             let sol = solve_knapsack(capacity, &sizes, &values);
             // Integer DP reference.
             let cap = capacity as usize;
             let mut dp = vec![0u64; cap + 1];
             for i in 0..sizes.len() {
-                let (sz, v) = (sizes[i] as usize, items[i].1);
+                let (sz, v) = (sizes[i] as usize, raw_values[i]);
                 for c in (sz..=cap).rev() {
                     dp[c] = dp[c].max(dp[c - sz] + v);
                 }
             }
-            prop_assert!((sol.value - dp[cap] as f64).abs() < 1e-6,
-                "bnb {} vs dp {}", sol.value, dp[cap]);
+            assert!(
+                (sol.value - dp[cap] as f64).abs() < 1e-6,
+                "bnb {} vs dp {}",
+                sol.value,
+                dp[cap]
+            );
             // Chosen set is feasible and value-consistent.
             let sz: u64 = sol.chosen.iter().map(|&i| sizes[i]).sum();
-            prop_assert!(sz <= capacity);
+            assert!(sz <= capacity);
             let val: f64 = sol.chosen.iter().map(|&i| values[i]).sum();
-            prop_assert!((val - sol.value).abs() < 1e-6);
+            assert!((val - sol.value).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn lp_bound_always_dominates(
-            items in proptest::collection::vec((1u64..30, 0u64..100), 0..12),
-            capacity in 0u64..120,
-        ) {
-            let sizes: Vec<u64> = items.iter().map(|(s, _)| *s).collect();
-            let values: Vec<f64> = items.iter().map(|(_, v)| *v as f64).collect();
+    #[test]
+    fn lp_bound_always_dominates() {
+        let mut rng = SimRng::seed_from_u64(0x1CA8);
+        for _ in 0..120 {
+            let (sizes, values, _) = random_items(&mut rng, 12);
+            let capacity = rng.uniform_u64(0, 120);
             let lp = fractional_upper_bound(capacity, &sizes, &values);
             let ip = solve_knapsack(capacity, &sizes, &values).value;
-            prop_assert!(lp >= ip - 1e-6);
+            assert!(lp >= ip - 1e-6);
         }
     }
 }

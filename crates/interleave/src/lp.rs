@@ -46,8 +46,7 @@ impl LpInterleaver {
                 continue;
             }
             // Schedule the chosen ops inside the slot by decreasing gain.
-            let mut chosen: Vec<BuildOp> =
-                sol.chosen.iter().map(|&i| remaining[i]).collect();
+            let mut chosen: Vec<BuildOp> = sol.chosen.iter().map(|&i| remaining[i]).collect();
             chosen.sort_by(|a, b| b.gain.total_cmp(&a.gain));
             let mut cursor = slot.start;
             for op in &chosen {
@@ -60,12 +59,12 @@ impl LpInterleaver {
                         op.build,
                         self.quantum,
                     )
+                    // flowtune-allow(panic-hygiene): the knapsack capacity equals the slot, so chosen ops fit it
                     .expect("knapsack-chosen ops must fit their slot");
                 cursor += op.duration;
             }
             // Remove placed ops from the pool.
-            let placed_ids: std::collections::HashSet<_> =
-                chosen.iter().map(|b| b.id).collect();
+            let placed_ids: std::collections::BTreeSet<_> = chosen.iter().map(|b| b.id).collect();
             remaining.retain(|b| !placed_ids.contains(&b.id));
             placed.extend(chosen);
         }
@@ -80,27 +79,31 @@ impl LpInterleaver {
         skyline: &mut [Schedule],
         pending: &[BuildOp],
     ) -> Vec<Vec<BuildOp>> {
-        skyline.iter_mut().map(|s| self.interleave(s, pending)).collect()
+        skyline
+            .iter_mut()
+            .map(|s| self.interleave(s, pending))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowtune_common::{
-        BuildOpId, ContainerId, IndexId, Money, OpId, SimRng, SimTime,
-    };
+    use flowtune_common::{BuildOpId, ContainerId, IndexId, Money, OpId, SimRng, SimTime};
+    use flowtune_dataflow::App;
     use flowtune_sched::{
         total_fragmentation, Assignment, BuildRef, SchedulerConfig, SkylineScheduler,
     };
-    use flowtune_dataflow::App;
 
     const Q: SimDuration = SimDuration::from_secs(60);
 
     fn build_op(i: u32, secs: u64, gain: f64) -> BuildOp {
         BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i), part: 0 },
+            build: BuildRef {
+                index: IndexId(i),
+                part: 0,
+            },
             duration: SimDuration::from_secs(secs),
             gain,
         }

@@ -55,7 +55,10 @@ mod tests {
         (0..n)
             .map(|i| BuildOp {
                 id: BuildOpId(i),
-                build: BuildRef { index: IndexId(i / 4), part: i % 4 },
+                build: BuildRef {
+                    index: IndexId(i / 4),
+                    part: i % 4,
+                },
                 duration: SimDuration::from_secs(4 + (i as u64 * 7) % 25),
                 gain: 1.0 + (i as f64 * 0.37) % 5.0,
             })
@@ -74,7 +77,10 @@ mod tests {
             s.validate(&dag).unwrap();
             any_builds += s.build_assignments().count();
         }
-        assert!(any_builds > 0, "online interleaving never placed a build op");
+        assert!(
+            any_builds > 0,
+            "online interleaving never placed a build op"
+        );
     }
 
     #[test]

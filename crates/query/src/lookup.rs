@@ -45,8 +45,11 @@ mod tests {
 
     fn fixture() -> (Vec<i64>, BPlusTree<i64>, HashIndex<i64>) {
         let col: Vec<i64> = vec![5, 3, 9, 3, 7, 1, 3, 9, 0, 4];
-        let mut pairs: Vec<(i64, u32)> =
-            col.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+        let mut pairs: Vec<(i64, u32)> = col
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
         pairs.sort_unstable();
         let bt = BPlusTree::bulk_build(4, &pairs);
         let hash = HashIndex::build(col.iter().enumerate().map(|(i, k)| (*k, i as u32)));

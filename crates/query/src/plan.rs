@@ -92,11 +92,7 @@ pub fn cost(path: AccessPath, predicate: Predicate, stats: &TableStats) -> f64 {
 }
 
 /// Pick the cheapest *available* access path.
-pub fn choose(
-    predicate: Predicate,
-    stats: &TableStats,
-    available: AvailableIndexes,
-) -> AccessPath {
+pub fn choose(predicate: Predicate, stats: &TableStats, available: AvailableIndexes) -> AccessPath {
     let mut best = (AccessPath::Scan, cost(AccessPath::Scan, predicate, stats));
     if available.btree {
         let c = cost(AccessPath::BTree, predicate, stats);
@@ -131,7 +127,10 @@ mod tests {
     use super::*;
 
     fn stats() -> TableStats {
-        TableStats { rows: 12_000_000, distinct_keys: 3_000_000 }
+        TableStats {
+            rows: 12_000_000,
+            distinct_keys: 3_000_000,
+        }
     }
 
     #[test]
@@ -139,11 +138,25 @@ mod tests {
         let s = stats();
         let p = Predicate::Equals(42);
         assert_eq!(
-            choose(p, &s, AvailableIndexes { btree: true, hash: true }),
+            choose(
+                p,
+                &s,
+                AvailableIndexes {
+                    btree: true,
+                    hash: true
+                }
+            ),
             AccessPath::Hash
         );
         assert_eq!(
-            choose(p, &s, AvailableIndexes { btree: true, hash: false }),
+            choose(
+                p,
+                &s,
+                AvailableIndexes {
+                    btree: true,
+                    hash: false
+                }
+            ),
             AccessPath::BTree
         );
         assert_eq!(choose(p, &s, AvailableIndexes::default()), AccessPath::Scan);
@@ -154,11 +167,25 @@ mod tests {
         let s = stats();
         let p = Predicate::Between(0, 1000);
         assert_eq!(
-            choose(p, &s, AvailableIndexes { btree: false, hash: true }),
+            choose(
+                p,
+                &s,
+                AvailableIndexes {
+                    btree: false,
+                    hash: true
+                }
+            ),
             AccessPath::Scan
         );
         assert_eq!(
-            choose(p, &s, AvailableIndexes { btree: true, hash: true }),
+            choose(
+                p,
+                &s,
+                AvailableIndexes {
+                    btree: true,
+                    hash: true
+                }
+            ),
             AccessPath::BTree
         );
     }
@@ -172,14 +199,31 @@ mod tests {
         let scan = cost(AccessPath::Scan, p, &s);
         let btree = cost(AccessPath::BTree, p, &s);
         assert!(scan < btree);
-        assert_eq!(choose(p, &s, AvailableIndexes { btree: true, hash: false }), AccessPath::Scan);
+        assert_eq!(
+            choose(
+                p,
+                &s,
+                AvailableIndexes {
+                    btree: true,
+                    hash: false
+                }
+            ),
+            AccessPath::Scan
+        );
     }
 
     #[test]
     fn order_by_uses_btree_traversal() {
         let s = stats();
         assert_eq!(
-            choose(Predicate::OrderBy, &s, AvailableIndexes { btree: true, hash: true }),
+            choose(
+                Predicate::OrderBy,
+                &s,
+                AvailableIndexes {
+                    btree: true,
+                    hash: true
+                }
+            ),
             AccessPath::BTree
         );
     }
@@ -203,7 +247,10 @@ mod tests {
 
     #[test]
     fn selectivity_estimates() {
-        let s = TableStats { rows: 1000, distinct_keys: 100 };
+        let s = TableStats {
+            rows: 1000,
+            distinct_keys: 100,
+        };
         assert!((s.estimated_matches(Predicate::Equals(5)) - 10.0).abs() < 1e-9);
         assert!((s.estimated_matches(Predicate::Between(0, 9)) - 100.0).abs() < 1e-9);
         assert_eq!(s.estimated_matches(Predicate::OrderBy), 1000.0);

@@ -24,8 +24,11 @@ mod tests {
 
     fn fixture() -> (Vec<i64>, BPlusTree<i64>) {
         let col: Vec<i64> = vec![50, 10, 40, 10, 30, 20];
-        let mut pairs: Vec<(i64, u32)> =
-            col.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+        let mut pairs: Vec<(i64, u32)> = col
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
         pairs.sort_unstable();
         (col.clone(), BPlusTree::bulk_build(4, &pairs))
     }
@@ -36,7 +39,10 @@ mod tests {
         for rows in [sort_scan(&col), sort_index(&bt)] {
             assert_eq!(rows.len(), col.len());
             let keys: Vec<i64> = rows.iter().map(|&r| col[r as usize]).collect();
-            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "not sorted: {keys:?}");
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "not sorted: {keys:?}"
+            );
         }
     }
 

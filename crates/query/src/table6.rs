@@ -49,15 +49,24 @@ impl SpeedupRow {
 /// ~3 M): the large range covers 1/12 of the key domain, the small range
 /// 1/1200, the lookup a single key.
 pub fn measure_table6(rows: usize, seed: u64, runs: usize) -> Vec<SpeedupRow> {
-    let gen = LineitemGenerator::new(LineitemParams { rows, seed, lines_per_order: 4 });
+    let gen = LineitemGenerator::new(LineitemParams {
+        rows,
+        seed,
+        lines_per_order: 4,
+    });
     let data = gen.generate_columns(&["orderkey"]);
+    // flowtune-allow(panic-hygiene): the lineitem schema types orderkey as i64
     let col = data.column(0).as_i64().expect("orderkey is i64").to_vec();
 
-    let mut pairs: Vec<(i64, u32)> =
-        col.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+    let mut pairs: Vec<(i64, u32)> = col
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (*k, i as u32))
+        .collect();
     pairs.sort_unstable();
     let index = BPlusTree::bulk_build(64, &pairs);
 
+    // flowtune-allow(panic-hygiene): rows >= 1 is the documented contract of measure_table6
     let max_key = *col.iter().max().expect("non-empty table");
     let large = (max_key / 12, max_key / 6);
     let small_width = (max_key / 1200).max(1);

@@ -30,7 +30,11 @@ impl VmType {
     /// Construct a type.
     pub fn new(name: impl Into<String>, speed: f64, price_per_quantum: Money) -> Self {
         assert!(speed > 0.0, "VM speed must be positive");
-        VmType { name: name.into(), speed, price_per_quantum }
+        VmType {
+            name: name.into(),
+            speed,
+            price_per_quantum,
+        }
     }
 
     /// The paper's homogeneous container (speed 1, $0.1/quantum).
@@ -125,20 +129,16 @@ impl HeterogeneousScheduler {
                 }
                 if (p.container_type.len() as u32) < self.max_containers {
                     for ty in 0..self.types.len() {
-                        expanded.push(self.assign(
-                            p,
-                            dag,
-                            op,
-                            p.container_type.len(),
-                            ty,
-                        ));
+                        expanded.push(self.assign(p, dag, op, p.container_type.len(), ty));
                     }
                 }
             }
             skyline = self.reduce(expanded);
         }
         skyline.sort_by(|a, b| {
-            a.makespan.cmp(&b.makespan).then(a.money(self).cmp(&b.money(self)))
+            a.makespan
+                .cmp(&b.makespan)
+                .then(a.money(self).cmp(&b.money(self)))
         });
         skyline
             .into_iter()
@@ -188,7 +188,9 @@ impl HeterogeneousScheduler {
 
     fn reduce(&self, mut partials: Vec<Partial>) -> Vec<Partial> {
         partials.sort_by(|a, b| {
-            a.makespan.cmp(&b.makespan).then(a.money(self).cmp(&b.money(self)))
+            a.makespan
+                .cmp(&b.makespan)
+                .then(a.money(self).cmp(&b.money(self)))
         });
         partials.dedup_by(|b, a| a.makespan == b.makespan && a.money(self) == b.money(self));
         let mut front: Vec<Partial> = Vec::new();
@@ -275,7 +277,11 @@ mod tests {
             .map(|i| OpSpec::new(OpId(i), format!("op{i}"), SimDuration::from_secs(secs)))
             .collect();
         let edges = (1..n)
-            .map(|i| Edge { from: OpId(i - 1), to: OpId(i), bytes: 0 })
+            .map(|i| Edge {
+                from: OpId(i - 1),
+                to: OpId(i),
+                bytes: 0,
+            })
             .collect();
         Dag::new(ops, edges).unwrap()
     }
@@ -316,10 +322,7 @@ mod tests {
         for hs in hetero.schedule(&dag) {
             hs.schedule.validate(&dag).unwrap();
             // Money via typed billing equals the homogeneous formula.
-            assert_eq!(
-                hs.money(q),
-                hs.schedule.money(q, Money::from_dollars(0.1))
-            );
+            assert_eq!(hs.money(q), hs.schedule.money(q, Money::from_dollars(0.1)));
         }
     }
 

@@ -7,9 +7,9 @@
 //! schedule and, crucially, ignores data placement — which is why it
 //! loses badly on data-intensive dataflows (Fig. 7).
 
-use flowtune_common::{ContainerId, SimDuration, SimTime};
 #[cfg(test)]
 use flowtune_common::OpId;
+use flowtune_common::{ContainerId, SimDuration, SimTime};
 use flowtune_dataflow::Dag;
 
 use crate::schedule::{Assignment, Schedule};
@@ -29,14 +29,20 @@ pub struct OnlineLoadBalanceScheduler {
 
 impl Default for OnlineLoadBalanceScheduler {
     fn default() -> Self {
-        OnlineLoadBalanceScheduler { max_containers: 100, network_bandwidth: 1e9 / 8.0 }
+        OnlineLoadBalanceScheduler {
+            max_containers: 100,
+            network_bandwidth: 1e9 / 8.0,
+        }
     }
 }
 
 impl OnlineLoadBalanceScheduler {
     /// Create a baseline scheduler.
     pub fn new(max_containers: u32, network_bandwidth: f64) -> Self {
-        OnlineLoadBalanceScheduler { max_containers, network_bandwidth }
+        OnlineLoadBalanceScheduler {
+            max_containers,
+            network_bandwidth,
+        }
     }
 
     /// Produce the single greedy schedule.
@@ -53,7 +59,10 @@ impl OnlineLoadBalanceScheduler {
         for op in dag.topo_order() {
             // Least loaded container (ties: lowest id) — load balance,
             // blind to where the inputs live.
-            let c = (0..pool).min_by_key(|&c| (load[c], c)).expect("pool is non-empty");
+            let c = (0..pool)
+                .min_by_key(|&c| (load[c], c))
+                // flowtune-allow(panic-hygiene): SchedulerConfig::validate rejects a zero container pool
+                .expect("pool is non-empty");
             let mut ready = SimTime::ZERO;
             for &pred in dag.preds(op) {
                 let mut t = op_end[pred.index()];
@@ -128,8 +137,16 @@ mod tests {
         let dag = Dag::new(
             vec![op(0, 10), op(1, 5), op(2, 10)],
             vec![
-                Edge { from: OpId(0), to: OpId(2), bytes: 12_500_000_000 },
-                Edge { from: OpId(1), to: OpId(2), bytes: 0 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 12_500_000_000,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(2),
+                    bytes: 0,
+                },
             ],
         )
         .unwrap();
@@ -140,6 +157,8 @@ mod tests {
     #[test]
     fn empty_dag() {
         let dag = Dag::new(vec![], vec![]).unwrap();
-        assert!(OnlineLoadBalanceScheduler::default().schedule(&dag).is_empty());
+        assert!(OnlineLoadBalanceScheduler::default()
+            .schedule(&dag)
+            .is_empty());
     }
 }

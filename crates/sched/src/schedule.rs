@@ -7,13 +7,11 @@
 //! build-index operators interleaved into idle slots — they must never
 //! change the schedule's execution time or monetary cost.
 
-use flowtune_common::{
-    ContainerId, FlowtuneError, Money, OpId, Result, SimDuration, SimTime,
-};
+use flowtune_common::{ContainerId, FlowtuneError, Money, OpId, Result, SimDuration, SimTime};
 use flowtune_dataflow::Dag;
 
 /// Identifies the index partition a build operator constructs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BuildRef {
     /// The index being built.
     pub index: flowtune_common::IndexId,
@@ -99,8 +97,7 @@ impl Schedule {
 
     /// Containers used by dataflow operators, ascending.
     pub fn containers(&self) -> Vec<ContainerId> {
-        let mut cs: Vec<ContainerId> =
-            self.dataflow_assignments().map(|a| a.container).collect();
+        let mut cs: Vec<ContainerId> = self.dataflow_assignments().map(|a| a.container).collect();
         cs.sort_unstable();
         cs.dedup();
         cs
@@ -108,8 +105,12 @@ impl Schedule {
 
     /// Assignments on one container, sorted by start time.
     pub fn on_container(&self, c: ContainerId) -> Vec<Assignment> {
-        let mut v: Vec<Assignment> =
-            self.assignments.iter().filter(|a| a.container == c).copied().collect();
+        let mut v: Vec<Assignment> = self
+            .assignments
+            .iter()
+            .filter(|a| a.container == c)
+            .copied()
+            .collect();
         v.sort_by_key(|a| (a.start, a.end));
         v
     }
@@ -193,7 +194,13 @@ impl Schedule {
                 )));
             }
         }
-        self.assignments.push(Assignment { op, container, start, end, build: Some(build) });
+        self.assignments.push(Assignment {
+            op,
+            container,
+            start,
+            end,
+            build: Some(build),
+        });
         Ok(())
     }
 
@@ -205,7 +212,10 @@ impl Schedule {
         for a in self.dataflow_assignments() {
             let i = a.op.index();
             if i >= dag.len() {
-                return Err(FlowtuneError::invalid_schedule(format!("unknown op {}", a.op)));
+                return Err(FlowtuneError::invalid_schedule(format!(
+                    "unknown op {}",
+                    a.op
+                )));
             }
             if seen[i] {
                 return Err(FlowtuneError::invalid_schedule(format!(
@@ -216,7 +226,9 @@ impl Schedule {
             seen[i] = true;
         }
         if !seen.iter().all(|s| *s) {
-            return Err(FlowtuneError::invalid_schedule("not all operators assigned"));
+            return Err(FlowtuneError::invalid_schedule(
+                "not all operators assigned",
+            ));
         }
         // Per-container overlap (all assignments, optional included).
         for c in self
@@ -275,8 +287,16 @@ mod tests {
                 OpSpec::new(OpId(2), "c", SimDuration::from_secs(10)),
             ],
             vec![
-                Edge { from: OpId(0), to: OpId(1), bytes: 0 },
-                Edge { from: OpId(1), to: OpId(2), bytes: 0 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(1),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(2),
+                    bytes: 0,
+                },
             ],
         )
         .unwrap()
@@ -293,11 +313,7 @@ mod tests {
     }
 
     fn valid_schedule() -> Schedule {
-        Schedule::from_assignments(vec![
-            asg(0, 0, 0, 10),
-            asg(1, 0, 10, 30),
-            asg(2, 1, 30, 40),
-        ])
+        Schedule::from_assignments(vec![asg(0, 0, 0, 10), asg(1, 0, 10, 30), asg(2, 1, 30, 40)])
     }
 
     #[test]
@@ -306,7 +322,10 @@ mod tests {
         assert_eq!(s.makespan(), SimDuration::from_secs(40));
         // c0 leased quantum [0,60); c1 first op at 30 -> leased [0,60).
         assert_eq!(s.leased_quanta(Q), 2);
-        assert_eq!(s.money(Q, Money::from_dollars(0.1)), Money::from_dollars(0.2));
+        assert_eq!(
+            s.money(Q, Money::from_dollars(0.1)),
+            Money::from_dollars(0.2)
+        );
         assert_eq!(s.containers(), vec![ContainerId(0), ContainerId(1)]);
     }
 
@@ -322,19 +341,21 @@ mod tests {
         let s = Schedule::from_assignments(vec![asg(0, 0, 0, 10)]);
         assert!(s.validate(&dag).is_err());
         // Overlap.
-        let s = Schedule::from_assignments(vec![
-            asg(0, 0, 0, 10),
-            asg(1, 0, 5, 30),
-            asg(2, 1, 30, 40),
-        ]);
-        assert!(s.validate(&dag).unwrap_err().to_string().contains("overlap"));
+        let s =
+            Schedule::from_assignments(vec![asg(0, 0, 0, 10), asg(1, 0, 5, 30), asg(2, 1, 30, 40)]);
+        assert!(s
+            .validate(&dag)
+            .unwrap_err()
+            .to_string()
+            .contains("overlap"));
         // Dependency violation.
-        let s = Schedule::from_assignments(vec![
-            asg(0, 0, 0, 10),
-            asg(1, 1, 5, 25),
-            asg(2, 1, 25, 35),
-        ]);
-        assert!(s.validate(&dag).unwrap_err().to_string().contains("predecessor"));
+        let s =
+            Schedule::from_assignments(vec![asg(0, 0, 0, 10), asg(1, 1, 5, 25), asg(2, 1, 25, 35)]);
+        assert!(s
+            .validate(&dag)
+            .unwrap_err()
+            .to_string()
+            .contains("predecessor"));
         // Duplicate assignment.
         let s = Schedule::from_assignments(vec![
             asg(0, 0, 0, 10),
@@ -348,9 +369,13 @@ mod tests {
     #[test]
     fn build_op_insertion_respects_constraints() {
         let mut s = valid_schedule();
-        let build = BuildRef { index: IndexId(0), part: 0 };
+        let build = BuildRef {
+            index: IndexId(0),
+            part: 0,
+        };
         // Fits in c0's idle tail [30, 60).
-        s.try_insert_build(ContainerId(0), secs(30), secs(50), OpId(100), build, Q).unwrap();
+        s.try_insert_build(ContainerId(0), secs(30), secs(50), OpId(100), build, Q)
+            .unwrap();
         // Money and makespan unchanged.
         assert_eq!(s.makespan(), SimDuration::from_secs(40));
         assert_eq!(s.leased_quanta(Q), 2);
@@ -374,8 +399,12 @@ mod tests {
     #[test]
     fn build_ops_do_not_count_towards_makespan() {
         let mut s = valid_schedule();
-        let build = BuildRef { index: IndexId(1), part: 2 };
-        s.try_insert_build(ContainerId(1), secs(40), secs(59), OpId(100), build, Q).unwrap();
+        let build = BuildRef {
+            index: IndexId(1),
+            part: 2,
+        };
+        s.try_insert_build(ContainerId(1), secs(40), secs(59), OpId(100), build, Q)
+            .unwrap();
         assert_eq!(s.makespan(), SimDuration::from_secs(40));
         assert_eq!(s.build_assignments().count(), 1);
         assert_eq!(s.dataflow_assignments().count(), 3);

@@ -178,8 +178,11 @@ impl SkylineScheduler {
             let mut expanded: Vec<Partial> = Vec::new();
             for p in &skyline {
                 let used = p.container_free.len();
-                let candidates =
-                    if (used as u32) < self.config.max_containers { used + 1 } else { used };
+                let candidates = if (used as u32) < self.config.max_containers {
+                    used + 1
+                } else {
+                    used
+                };
                 for c in 0..candidates {
                     expanded.push(self.assign_dataflow_op(p, dag, op, c));
                 }
@@ -232,11 +235,9 @@ impl SkylineScheduler {
         // Preempt optional tail ops that would overlap: drop the ones not
         // yet started, truncation of a running one is the simulator's
         // business (here the partial build contributes nothing).
-        q.assignments.retain(|a| {
-            !(a.build.is_some() && a.container.index() == c && a.end > start)
-        });
-        q.optional_count =
-            q.assignments.iter().filter(|a| a.build.is_some()).count();
+        q.assignments
+            .retain(|a| !(a.build.is_some() && a.container.index() == c && a.end > start));
+        q.optional_count = q.assignments.iter().filter(|a| a.build.is_some()).count();
         q.assignments.push(Assignment {
             op,
             container: ContainerId(c as u32),
@@ -321,8 +322,7 @@ impl SkylineScheduler {
                         // plain scheduler would, so offering optional ops
                         // never changes how the front evolves.
                         std::cmp::Ordering::Equal => {
-                            p.skeleton == last.skeleton
-                                && p.optional_count > last.optional_count
+                            p.skeleton == last.skeleton && p.optional_count > last.optional_count
                         }
                     };
                     if better {
@@ -383,12 +383,36 @@ mod tests {
         Dag::new(
             vec![op(0, 10), op(1, 30), op(2, 30), op(3, 30), op(4, 10)],
             vec![
-                Edge { from: OpId(0), to: OpId(1), bytes: 0 },
-                Edge { from: OpId(0), to: OpId(2), bytes: 0 },
-                Edge { from: OpId(0), to: OpId(3), bytes: 0 },
-                Edge { from: OpId(1), to: OpId(4), bytes: 0 },
-                Edge { from: OpId(2), to: OpId(4), bytes: 0 },
-                Edge { from: OpId(3), to: OpId(4), bytes: 0 },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(1),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(3),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(4),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(2),
+                    to: OpId(4),
+                    bytes: 0,
+                },
+                Edge {
+                    from: OpId(3),
+                    to: OpId(4),
+                    bytes: 0,
+                },
             ],
         )
         .unwrap()
@@ -443,7 +467,11 @@ mod tests {
         // 0 -> 1 with a huge edge: remote placement adds transfer time.
         let dag = Dag::new(
             vec![op(0, 10), op(1, 10)],
-            vec![Edge { from: OpId(0), to: OpId(1), bytes: 5_000_000_000 }],
+            vec![Edge {
+                from: OpId(0),
+                to: OpId(1),
+                bytes: 5_000_000_000,
+            }],
         )
         .unwrap();
         let sched = SkylineScheduler::new(cfg());
@@ -502,20 +530,27 @@ mod tests {
             .map(|i| OptionalOp {
                 op: OpId(1000 + i),
                 duration: SimDuration::from_secs(8),
-                build: BuildRef { index: IndexId(i), part: 0 },
+                build: BuildRef {
+                    index: IndexId(i),
+                    part: 0,
+                },
             })
             .collect();
         let with_opt = sched.schedule_with_optional(&dag, &optional);
         // Pareto front must not regress.
         let q = SimDuration::from_secs(60);
         for b in &baseline {
-            let covered = with_opt.iter().any(|s| {
-                s.makespan() <= b.makespan() && s.leased_quanta(q) <= b.leased_quanta(q)
-            });
+            let covered = with_opt
+                .iter()
+                .any(|s| s.makespan() <= b.makespan() && s.leased_quanta(q) <= b.leased_quanta(q));
             assert!(covered, "optional ops regressed the skyline");
         }
         // And at least one schedule carries build ops.
-        let built: usize = with_opt.iter().map(|s| s.build_assignments().count()).max().unwrap();
+        let built: usize = with_opt
+            .iter()
+            .map(|s| s.build_assignments().count())
+            .max()
+            .unwrap();
         assert!(built > 0, "no optional op was ever placed");
     }
 

@@ -44,12 +44,20 @@ pub fn idle_slots(schedule: &Schedule, quantum: SimDuration) -> Vec<IdleSlot> {
         let mut cursor = lease_start;
         for a in schedule.on_container(c) {
             if a.start > cursor {
-                slots.push(IdleSlot { container: c, start: cursor, end: a.start });
+                slots.push(IdleSlot {
+                    container: c,
+                    start: cursor,
+                    end: a.start,
+                });
             }
             cursor = cursor.max(a.end);
         }
         if lease_end > cursor {
-            slots.push(IdleSlot { container: c, start: cursor, end: lease_end });
+            slots.push(IdleSlot {
+                container: c,
+                start: cursor,
+                end: lease_end,
+            });
         }
     }
     slots
@@ -57,7 +65,10 @@ pub fn idle_slots(schedule: &Schedule, quantum: SimDuration) -> Vec<IdleSlot> {
 
 /// Total idle time across all slots (the schedule's fragmentation).
 pub fn total_fragmentation(schedule: &Schedule, quantum: SimDuration) -> SimDuration {
-    idle_slots(schedule, quantum).iter().map(IdleSlot::duration).sum()
+    idle_slots(schedule, quantum)
+        .iter()
+        .map(IdleSlot::duration)
+        .sum()
 }
 
 /// The longest single idle slot — the tie-breaking criterion of the
@@ -131,7 +142,10 @@ mod tests {
             SimTime::from_secs(12),
             SimTime::from_secs(28),
             OpId(100),
-            BuildRef { index: IndexId(0), part: 0 },
+            BuildRef {
+                index: IndexId(0),
+                part: 0,
+            },
             Q,
         )
         .unwrap();

@@ -22,7 +22,14 @@ pub struct LruCache<K> {
 impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
     /// Create a cache with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        LruCache { capacity, used: 0, entries: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        LruCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Look up `key`, updating recency and hit/miss statistics.
@@ -65,7 +72,7 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
                 .iter()
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(k, _)| k.clone())
-                .expect("cache overfull but empty");
+                .expect("cache overfull but empty"); // flowtune-allow(panic-hygiene): over-budget cache holds at least one entry, and the LRU key was just read from it
             let (sz, _) = self.entries.remove(&lru).expect("lru key must exist");
             self.used -= sz;
             evicted.push(lru);
@@ -125,7 +132,7 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use flowtune_common::SimRng;
 
     #[test]
     fn hit_and_miss_accounting() {
@@ -181,22 +188,21 @@ mod tests {
         assert_eq!(c.used_bytes(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn used_bytes_never_exceeds_capacity(
-            ops in proptest::collection::vec((0u32..20, 1u64..40), 1..200)
-        ) {
+    #[test]
+    fn used_bytes_never_exceeds_capacity() {
+        let mut rng = SimRng::seed_from_u64(0x1CACE);
+        for _ in 0..150 {
+            let n_ops = rng.uniform_u64(1, 200) as usize;
             let mut c = LruCache::new(64);
-            for (k, sz) in ops {
+            for _ in 0..n_ops {
+                let k = rng.uniform_u64(0, 20) as u32;
+                let sz = rng.uniform_u64(1, 40);
                 c.insert(k, sz);
-                prop_assert!(c.used_bytes() <= c.capacity_bytes());
-                let sum: u64 = (0..20).filter(|k| c.contains(k))
-                    .map(|_| 0u64).sum(); // presence only; size bookkeeping checked below
-                let _ = sum;
+                assert!(c.used_bytes() <= c.capacity_bytes());
             }
             // Internal bookkeeping consistent: re-deriving used from entries.
             let derived: u64 = (0u32..20).filter(|k| c.contains(k)).count() as u64;
-            prop_assert!(derived as usize == c.len());
+            assert!(derived as usize == c.len());
         }
     }
 }

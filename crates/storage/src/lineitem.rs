@@ -21,8 +21,12 @@ use flowtune_common::SimRng;
 pub const SF2_ROWS: u64 = 11_997_996;
 
 /// The four values TPC-H uses for `l_shipinstruct`.
-pub const SHIP_INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// The seven values TPC-H uses for `l_shipmode`.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -41,7 +45,11 @@ pub struct LineitemParams {
 
 impl Default for LineitemParams {
     fn default() -> Self {
-        LineitemParams { rows: 100_000, seed: 0x71C4, lines_per_order: 4 }
+        LineitemParams {
+            rows: 100_000,
+            seed: 0x71C4,
+            lines_per_order: 4,
+        }
     }
 }
 
@@ -55,7 +63,10 @@ impl LineitemGenerator {
     /// Create a generator.
     pub fn new(params: LineitemParams) -> Self {
         assert!(params.rows > 0, "row count must be positive");
-        assert!(params.lines_per_order > 0, "lines per order must be positive");
+        assert!(
+            params.lines_per_order > 0,
+            "lines per order must be positive"
+        );
         LineitemGenerator { params }
     }
 
@@ -76,8 +87,20 @@ impl LineitemGenerator {
             Column::new("shipdate", ColumnType::Date),
             Column::new("commitdate", ColumnType::Date),
             Column::new("receiptdate", ColumnType::Date),
-            Column::new("shipinstruct", ColumnType::Char { width: 25, avg: 12.0 }),
-            Column::new("shipmode", ColumnType::Char { width: 10, avg: 4.3 }),
+            Column::new(
+                "shipinstruct",
+                ColumnType::Char {
+                    width: 25,
+                    avg: 12.0,
+                },
+            ),
+            Column::new(
+                "shipmode",
+                ColumnType::Char {
+                    width: 10,
+                    avg: 4.3,
+                },
+            ),
             Column::new("comment", ColumnType::Text { avg: 27.0 }),
         ])
     }
@@ -100,6 +123,7 @@ impl LineitemGenerator {
             .map(|name| {
                 let idx = schema
                     .index_of(name)
+                    // flowtune-allow(panic-hygiene): documented contract: callers request schema column names
                     .unwrap_or_else(|| panic!("unknown lineitem column {name:?}"));
                 self.generate_column(name, &mut streams[idx])
             })
@@ -125,36 +149,51 @@ impl LineitemGenerator {
                 ColumnData::I32((0..n).map(|_| rng.uniform_i64(1, 10_001) as i32).collect())
             }
             "linenumber" => ColumnData::I32((0..n).map(|i| (i % 7 + 1) as i32).collect()),
-            "quantity" => {
-                ColumnData::F64((0..n).map(|_| rng.uniform_i64(1, 51) as f64).collect())
-            }
-            "extendedprice" => {
-                ColumnData::F64((0..n).map(|_| rng.uniform_range(900.0, 105_000.0)).collect())
-            }
-            "discount" => {
-                ColumnData::F64((0..n).map(|_| rng.uniform_i64(0, 11) as f64 / 100.0).collect())
-            }
-            "tax" => {
-                ColumnData::F64((0..n).map(|_| rng.uniform_i64(0, 9) as f64 / 100.0).collect())
-            }
-            "returnflag" => ColumnData::Str(
-                (0..n).map(|_| (*rng.choose(&["R", "A", "N"])).to_owned()).collect(),
+            "quantity" => ColumnData::F64((0..n).map(|_| rng.uniform_i64(1, 51) as f64).collect()),
+            "extendedprice" => ColumnData::F64(
+                (0..n)
+                    .map(|_| rng.uniform_range(900.0, 105_000.0))
+                    .collect(),
             ),
-            "linestatus" => {
-                ColumnData::Str((0..n).map(|_| (*rng.choose(&["O", "F"])).to_owned()).collect())
-            }
+            "discount" => ColumnData::F64(
+                (0..n)
+                    .map(|_| rng.uniform_i64(0, 11) as f64 / 100.0)
+                    .collect(),
+            ),
+            "tax" => ColumnData::F64(
+                (0..n)
+                    .map(|_| rng.uniform_i64(0, 9) as f64 / 100.0)
+                    .collect(),
+            ),
+            "returnflag" => ColumnData::Str(
+                (0..n)
+                    .map(|_| (*rng.choose(&["R", "A", "N"])).to_owned())
+                    .collect(),
+            ),
+            "linestatus" => ColumnData::Str(
+                (0..n)
+                    .map(|_| (*rng.choose(&["O", "F"])).to_owned())
+                    .collect(),
+            ),
             // TPC-H dates span 1992-01-01 .. 1998-12-31 (days since epoch
             // 8035 .. 10592).
-            "shipdate" | "commitdate" | "receiptdate" => {
-                ColumnData::Date((0..n).map(|_| rng.uniform_i64(8035, 10593) as i32).collect())
-            }
-            "shipinstruct" => ColumnData::Str(
-                (0..n).map(|_| (*rng.choose(&SHIP_INSTRUCTIONS)).to_owned()).collect(),
+            "shipdate" | "commitdate" | "receiptdate" => ColumnData::Date(
+                (0..n)
+                    .map(|_| rng.uniform_i64(8035, 10593) as i32)
+                    .collect(),
             ),
-            "shipmode" => {
-                ColumnData::Str((0..n).map(|_| (*rng.choose(&SHIP_MODES)).to_owned()).collect())
-            }
+            "shipinstruct" => ColumnData::Str(
+                (0..n)
+                    .map(|_| (*rng.choose(&SHIP_INSTRUCTIONS)).to_owned())
+                    .collect(),
+            ),
+            "shipmode" => ColumnData::Str(
+                (0..n)
+                    .map(|_| (*rng.choose(&SHIP_MODES)).to_owned())
+                    .collect(),
+            ),
             "comment" => ColumnData::Str((0..n).map(|_| comment_text(rng)).collect()),
+            // flowtune-allow(panic-hygiene): documented contract: generate_column takes schema column names
             other => panic!("unknown lineitem column {other:?}"),
         }
     }
@@ -182,8 +221,22 @@ impl LineitemGenerator {
 fn comment_text(rng: &mut SimRng) -> String {
     // Word salad with mean length ~27 bytes, like l_comment.
     const WORDS: [&str; 16] = [
-        "carefully", "quickly", "furiously", "deposits", "requests", "accounts", "packages",
-        "ideas", "theodolites", "pinto", "beans", "foxes", "sleep", "haggle", "bold", "final",
+        "carefully",
+        "quickly",
+        "furiously",
+        "deposits",
+        "requests",
+        "accounts",
+        "packages",
+        "ideas",
+        "theodolites",
+        "pinto",
+        "beans",
+        "foxes",
+        "sleep",
+        "haggle",
+        "bold",
+        "final",
     ];
     let target = rng.uniform_u64(10, 45) as usize;
     let mut s = String::with_capacity(target + 12);
@@ -211,7 +264,10 @@ mod tests {
 
     #[test]
     fn generates_requested_rows() {
-        let g = LineitemGenerator::new(LineitemParams { rows: 1000, ..Default::default() });
+        let g = LineitemGenerator::new(LineitemParams {
+            rows: 1000,
+            ..Default::default()
+        });
         let data = g.generate_columns(&["orderkey", "commitdate"]);
         assert_eq!(data.rows(), 1000);
         assert_eq!(data.columns().len(), 2);
@@ -219,7 +275,10 @@ mod tests {
 
     #[test]
     fn orderkey_duplication_matches_lines_per_order() {
-        let g = LineitemGenerator::new(LineitemParams { rows: 40_000, ..Default::default() });
+        let g = LineitemGenerator::new(LineitemParams {
+            rows: 40_000,
+            ..Default::default()
+        });
         let data = g.generate_columns(&["orderkey"]);
         let keys = data.column(0).as_i64().unwrap();
         let distinct: std::collections::HashSet<_> = keys.iter().collect();
@@ -229,7 +288,10 @@ mod tests {
 
     #[test]
     fn column_content_is_independent_of_subset() {
-        let p = LineitemParams { rows: 500, ..Default::default() };
+        let p = LineitemParams {
+            rows: 500,
+            ..Default::default()
+        };
         let a = LineitemGenerator::new(p.clone()).generate_columns(&["commitdate"]);
         let b = LineitemGenerator::new(p).generate_columns(&["orderkey", "commitdate"]);
         assert_eq!(a.column(0), b.column(1));
@@ -237,17 +299,32 @@ mod tests {
 
     #[test]
     fn comments_have_tpch_like_lengths() {
-        let g = LineitemGenerator::new(LineitemParams { rows: 2000, ..Default::default() });
+        let g = LineitemGenerator::new(LineitemParams {
+            rows: 2000,
+            ..Default::default()
+        });
         let data = g.generate_columns(&["comment"]);
         let stats = OnlineStats::from_iter(
-            data.column(0).as_str().unwrap().iter().map(|s| s.len() as f64),
+            data.column(0)
+                .as_str()
+                .unwrap()
+                .iter()
+                .map(|s| s.len() as f64),
         );
-        assert!((20.0..35.0).contains(&stats.mean()), "mean comment {}", stats.mean());
+        assert!(
+            (20.0..35.0).contains(&stats.mean()),
+            "mean comment {}",
+            stats.mean()
+        );
     }
 
     #[test]
     fn deterministic_for_equal_seeds() {
-        let p = LineitemParams { rows: 100, seed: 9, lines_per_order: 4 };
+        let p = LineitemParams {
+            rows: 100,
+            seed: 9,
+            lines_per_order: 4,
+        };
         let a = LineitemGenerator::new(p.clone()).generate_columns(&["orderkey"]);
         let b = LineitemGenerator::new(p).generate_columns(&["orderkey"]);
         assert_eq!(a, b);
@@ -255,7 +332,10 @@ mod tests {
 
     #[test]
     fn dates_in_tpch_range() {
-        let g = LineitemGenerator::new(LineitemParams { rows: 1000, ..Default::default() });
+        let g = LineitemGenerator::new(LineitemParams {
+            rows: 1000,
+            ..Default::default()
+        });
         let data = g.generate_columns(&["shipdate"]);
         for &d in data.column(0).as_date().unwrap() {
             assert!((8035..10593).contains(&d));

@@ -74,7 +74,10 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ mod tests {
 
     #[test]
     fn char_uses_average_not_width() {
-        let ty = ColumnType::Char { width: 25, avg: 12.0 };
+        let ty = ColumnType::Char {
+            width: 25,
+            avg: 12.0,
+        };
         assert!((ty.avg_value_bytes() - 12.0).abs() < 1e-12);
         assert_eq!(ty.to_string(), "char(25)");
     }

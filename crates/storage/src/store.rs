@@ -70,7 +70,13 @@ impl StorageService {
     pub fn put(&mut self, key: ObjectKey, bytes: u64, now: SimTime) {
         self.settle(now);
         self.bytes_uploaded += bytes;
-        self.objects.insert(key, StoredObject { bytes, created: now });
+        self.objects.insert(
+            key,
+            StoredObject {
+                bytes,
+                created: now,
+            },
+        );
     }
 
     /// Record a download of an object (for transfer accounting); returns
@@ -202,7 +208,10 @@ mod tests {
         s.put(pkey(0), MB, SimTime::ZERO);
         s.put(ObjectKey::IndexPart(IndexId(0), 0), 2 * MB, SimTime::ZERO);
         assert_eq!(s.object_count(), 2);
-        assert_eq!(s.object_bytes(&ObjectKey::IndexPart(IndexId(0), 0)), Some(2 * MB));
+        assert_eq!(
+            s.object_bytes(&ObjectKey::IndexPart(IndexId(0), 0)),
+            Some(2 * MB)
+        );
         assert_eq!(s.object_created(&pkey(0)), Some(SimTime::ZERO));
     }
 }

@@ -70,7 +70,12 @@ impl TableMeta {
             remaining -= n;
             ordinal += 1;
         }
-        TableMeta { id, name, schema, partitions }
+        TableMeta {
+            id,
+            name,
+            schema,
+            partitions,
+        }
     }
 
     /// Total rows across all partitions.

@@ -93,9 +93,18 @@ mod tests {
     #[test]
     fn same_type_comparisons() {
         assert_eq!(Value::I64(1).try_cmp(&Value::I64(2)), Some(Ordering::Less));
-        assert_eq!(Value::from("b").try_cmp(&Value::from("a")), Some(Ordering::Greater));
-        assert_eq!(Value::Date(10).try_cmp(&Value::Date(10)), Some(Ordering::Equal));
-        assert_eq!(Value::F64(1.5).try_cmp(&Value::F64(1.5)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::from("b").try_cmp(&Value::from("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Date(10).try_cmp(&Value::Date(10)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::F64(1.5).try_cmp(&Value::F64(1.5)),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! index reused regularly gets `D ≈ factor × typical gap`, so its gain
 //! survives exactly the gaps it actually exhibits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_common::{IndexId, SimDuration, SimTime};
 
@@ -30,7 +30,7 @@ pub struct AdaptiveFading {
     /// Clamp range for learned values (quanta).
     pub clamp: (f64, f64),
     quantum: SimDuration,
-    state: HashMap<IndexId, UseState>,
+    state: BTreeMap<IndexId, UseState>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -48,7 +48,7 @@ impl AdaptiveFading {
             safety_factor: 1.5,
             clamp: (0.25, 32.0),
             quantum,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 
@@ -56,7 +56,13 @@ impl AdaptiveFading {
     pub fn record_use(&mut self, idx: IndexId, now: SimTime) {
         match self.state.get_mut(&idx) {
             None => {
-                self.state.insert(idx, UseState { last_use: now, ewma_gap_quanta: None });
+                self.state.insert(
+                    idx,
+                    UseState {
+                        last_use: now,
+                        ewma_gap_quanta: None,
+                    },
+                );
             }
             Some(st) => {
                 let gap = now.saturating_since(st.last_use).as_quanta(self.quantum);
@@ -164,7 +170,10 @@ mod tests {
             a.record_use(IndexId(0), t(50 + k));
         }
         let hot = a.d_for(IndexId(0));
-        assert!(hot < cold, "D must shrink when reuse accelerates: {cold} -> {hot}");
+        assert!(
+            hot < cold,
+            "D must shrink when reuse accelerates: {cold} -> {hot}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ("equivalent to the time to read the index, as both are measured in
 //! quanta", §4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_common::{CloudConfig, IndexId};
 use flowtune_dataflow::Dataflow;
@@ -18,9 +18,9 @@ pub fn dataflow_index_gains(
     df: &Dataflow,
     catalog: &IndexCatalog,
     cloud: &CloudConfig,
-) -> HashMap<IndexId, (f64, f64)> {
+) -> BTreeMap<IndexId, (f64, f64)> {
     let quantum_secs = cloud.quantum.as_secs_f64();
-    let mut gains: HashMap<IndexId, (f64, f64)> = HashMap::new();
+    let mut gains: BTreeMap<IndexId, (f64, f64)> = BTreeMap::new();
     for u in &df.index_uses {
         // Work saved across operators reading the indexed file.
         let mut saved_secs = 0.0;
@@ -28,17 +28,15 @@ pub fn dataflow_index_gains(
             if op.reads.is_empty() {
                 continue;
             }
-            let share = op.reads.iter().filter(|p| p.file == u.file).count() as f64
-                / op.reads.len() as f64;
+            let share =
+                op.reads.iter().filter(|p| p.file == u.file).count() as f64 / op.reads.len() as f64;
             if share > 0.0 {
-                saved_secs +=
-                    op.runtime.as_secs_f64() * share * (1.0 - 1.0 / u.speedup);
+                saved_secs += op.runtime.as_secs_f64() * share * (1.0 - 1.0 / u.speedup);
             }
         }
         let gtd = saved_secs / quantum_secs;
         // Cost of reading the index from storage, in quanta.
-        let read_secs =
-            catalog.spec(u.index).total_bytes() as f64 / cloud.network_bandwidth;
+        let read_secs = catalog.spec(u.index).total_bytes() as f64 / cloud.network_bandwidth;
         let gmd = gtd - read_secs / quantum_secs;
         gains.insert(u.index, (gtd, gmd));
     }
@@ -57,17 +55,13 @@ mod tests {
         let db = FileDatabase::generate(&mut rng);
         let mut catalog = IndexCatalog::new();
         for pi in db.potential_indexes() {
-            let rows: Vec<u64> =
-                db.file(pi.file).partitions.iter().map(|p| p.rows).collect();
+            let rows: Vec<u64> = db.file(pi.file).partitions.iter().map(|p| p.rows).collect();
             catalog.add(IndexSpec {
                 id: pi.id,
                 file: pi.file,
                 column: pi.column.to_owned(),
                 kind: IndexKind::BTree,
-                model: IndexCostModel::new(
-                    pi.rec_bytes(),
-                    flowtune_dataflow::filedb::ROW_BYTES,
-                ),
+                model: IndexCostModel::new(pi.rec_bytes(), flowtune_dataflow::filedb::ROW_BYTES),
                 partition_rows: rows,
             });
         }
@@ -87,8 +81,7 @@ mod tests {
     fn time_gain_is_positive_and_bounded_by_total_work() {
         let (df, catalog, cloud) = setup();
         let gains = dataflow_index_gains(&df, &catalog, &cloud);
-        let total_work_quanta =
-            df.dag.total_work().as_quanta(cloud.quantum);
+        let total_work_quanta = df.dag.total_work().as_quanta(cloud.quantum);
         for (idx, (gtd, gmd)) in &gains {
             assert!(*gtd > 0.0, "{idx}: gtd {gtd}");
             assert!(*gtd < total_work_quanta, "{idx}: gtd {gtd}");

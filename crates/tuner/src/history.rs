@@ -1,6 +1,6 @@
 //! The historical dataflow list `Hd`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_common::{DataflowId, IndexId, SimDuration, SimTime};
 
@@ -14,7 +14,7 @@ pub struct HistoryEntry {
     /// When it finished executing.
     pub finished_at: SimTime,
     /// `idx -> (gtd, gmd)` in quanta, for every index the dataflow uses.
-    pub index_gains: HashMap<IndexId, (f64, f64)>,
+    pub index_gains: BTreeMap<IndexId, (f64, f64)>,
 }
 
 /// The list of historical dataflows.
@@ -75,7 +75,7 @@ impl History {
             .filter(|e| e.finished_at <= now)
             .filter_map(|e| {
                 e.index_gains.get(&idx).map(|&(gtd, gmd)| GainContribution {
-                    quanta_ago: now.saturating_since(e.finished_at).as_quanta(quantum),
+                    quanta_ago: now.saturating_since(e.finished_at).quanta(quantum),
                     gtd,
                     gmd,
                 })
@@ -121,7 +121,7 @@ mod tests {
         let c = h.contributions(IndexId(1), SimTime::from_secs(540), Q * 5, Q);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].gtd, 3.0);
-        assert!((c[0].quanta_ago - 4.0).abs() < 1e-9);
+        assert!((c[0].quanta_ago.get() - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -161,6 +161,9 @@ mod tests {
         }
         h.prune(SimTime::from_secs(1000), SimDuration::from_secs(200));
         assert!(h.len() <= 21);
-        assert!(h.entries().iter().all(|e| e.finished_at >= SimTime::from_secs(800)));
+        assert!(h
+            .entries()
+            .iter()
+            .all(|e| e.finished_at >= SimTime::from_secs(800)));
     }
 }

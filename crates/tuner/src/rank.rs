@@ -10,8 +10,11 @@ use crate::gain::IndexGains;
 
 /// Rank indexes: keep the beneficial ones, sort by descending `g`.
 pub fn rank_indexes(gains: &[(IndexId, IndexGains)]) -> Vec<(IndexId, IndexGains)> {
-    let mut beneficial: Vec<(IndexId, IndexGains)> =
-        gains.iter().filter(|(_, g)| g.is_beneficial()).copied().collect();
+    let mut beneficial: Vec<(IndexId, IndexGains)> = gains
+        .iter()
+        .filter(|(_, g)| g.is_beneficial())
+        .copied()
+        .collect();
     beneficial.sort_by(|a, b| b.1.g.total_cmp(&a.1.g).then(a.0.cmp(&b.0)));
     beneficial
 }
@@ -21,18 +24,22 @@ mod tests {
     use super::*;
 
     fn g(gt: f64, gm: f64, weighted: f64) -> IndexGains {
-        IndexGains { gt, gm, g: weighted }
+        IndexGains {
+            gt,
+            gm,
+            g: weighted,
+        }
     }
 
     #[test]
     fn filters_non_beneficial_quadrants() {
         // Fig. 4: X1..X4 live outside the positive quadrant.
         let pts = vec![
-            (IndexId(0), g(1.0, 1.0, 2.0)),   // beneficial
-            (IndexId(1), g(-1.0, 1.0, 0.5)),  // X: negative time gain
-            (IndexId(2), g(1.0, -1.0, 0.5)),  // X: negative money gain
-            (IndexId(3), g(-1.0, -1.0, -2.0)),// X: both negative
-            (IndexId(4), g(0.0, 1.0, 0.5)),   // boundary: not beneficial
+            (IndexId(0), g(1.0, 1.0, 2.0)),    // beneficial
+            (IndexId(1), g(-1.0, 1.0, 0.5)),   // X: negative time gain
+            (IndexId(2), g(1.0, -1.0, 0.5)),   // X: negative money gain
+            (IndexId(3), g(-1.0, -1.0, -2.0)), // X: both negative
+            (IndexId(4), g(0.0, 1.0, 0.5)),    // boundary: not beneficial
         ];
         let ranked = rank_indexes(&pts);
         assert_eq!(ranked.len(), 1);

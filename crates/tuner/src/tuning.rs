@@ -6,7 +6,7 @@
 //! beneficial ones for interleaving, and mark the built indexes whose
 //! gain has gone non-positive for deletion.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_common::{IndexId, SimTime};
 use flowtune_index::IndexCatalog;
@@ -42,18 +42,26 @@ pub struct OnlineTuner {
 impl OnlineTuner {
     /// Create a tuner with the global fading controller.
     pub fn new(model: GainModel) -> Self {
-        OnlineTuner { model, history: History::new(), adaptive: None }
+        OnlineTuner {
+            model,
+            history: History::new(),
+            adaptive: None,
+        }
     }
 
     /// Create a tuner that learns a fading controller per index.
     pub fn with_adaptive_fading(model: GainModel) -> Self {
         let adaptive = AdaptiveFading::new(model.tuner.fading_d, model.quantum);
-        OnlineTuner { model, history: History::new(), adaptive: Some(adaptive) }
+        OnlineTuner {
+            model,
+            history: History::new(),
+            adaptive: Some(adaptive),
+        }
     }
 
     /// Record that the (just-issued) dataflow uses these indexes — feeds
     /// the adaptive fading learner; a no-op without one.
-    pub fn observe_uses(&mut self, indexes: &[flowtune_common::IndexId], now: SimTime) {
+    pub fn observe_uses(&mut self, indexes: &[IndexId], now: SimTime) {
         if let Some(adaptive) = &mut self.adaptive {
             for idx in indexes {
                 adaptive.record_use(*idx, now);
@@ -72,13 +80,17 @@ impl OnlineTuner {
         extras: &[(f64, f64)],
     ) -> IndexGains {
         let window = self.model.quantum.mul_f64(self.model.tuner.window_w);
-        let mut contributions =
-            self.history.contributions(idx, now, window, self.model.quantum);
+        let mut contributions = self
+            .history
+            .contributions(idx, now, window, self.model.quantum);
         for &(gtd, gmd) in extras {
-            contributions.push(crate::gain::GainContribution { quanta_ago: 0.0, gtd, gmd });
+            contributions.push(crate::gain::GainContribution {
+                quanta_ago: flowtune_common::Quanta::ZERO,
+                gtd,
+                gmd,
+            });
         }
-        let remaining_build =
-            catalog.remaining_build_time(idx).as_quanta(self.model.quantum);
+        let remaining_build = catalog.remaining_build_time(idx).quanta(self.model.quantum);
         let d = self
             .adaptive
             .as_ref()
@@ -99,7 +111,7 @@ impl OnlineTuner {
         &self,
         now: SimTime,
         catalog: &IndexCatalog,
-        active: &[&HashMap<IndexId, (f64, f64)>],
+        active: &[&BTreeMap<IndexId, (f64, f64)>],
     ) -> TuningDecision {
         let mut all: Vec<(IndexId, IndexGains)> = Vec::with_capacity(catalog.len());
         let mut extras: Vec<(f64, f64)> = Vec::new();
@@ -112,12 +124,13 @@ impl OnlineTuner {
         let beneficial = rank_indexes(&all);
         let deletions = all
             .iter()
-            .filter(|(idx, g)| {
-                g.is_deletable() && !catalog.state(*idx).empty()
-            })
+            .filter(|(idx, g)| g.is_deletable() && !catalog.state(*idx).empty())
             .map(|(idx, _)| *idx)
             .collect();
-        TuningDecision { beneficial, deletions }
+        TuningDecision {
+            beneficial,
+            deletions,
+        }
     }
 }
 
@@ -125,9 +138,7 @@ impl OnlineTuner {
 mod tests {
     use super::*;
     use crate::history::HistoryEntry;
-    use flowtune_common::{
-        DataflowId, FileId, Money, SimDuration, TunerConfig,
-    };
+    use flowtune_common::{DataflowId, FileId, Money, SimDuration, TunerConfig};
     use flowtune_index::{IndexCostModel, IndexKind, IndexSpec};
 
     fn small_catalog(n: usize) -> IndexCatalog {
@@ -147,7 +158,12 @@ mod tests {
 
     fn tuner() -> OnlineTuner {
         OnlineTuner::new(GainModel::new(
-            TunerConfig { alpha: 0.5, fading_d: 1.0, window_w: 10.0, storage_window_w: 10.0 },
+            TunerConfig {
+                alpha: 0.5,
+                fading_d: 1.0,
+                window_w: 10.0,
+                storage_window_w: 10.0,
+            },
             SimDuration::from_secs(60),
             Money::from_dollars(0.1),
             Money::from_dollars(1e-4),
@@ -160,14 +176,17 @@ mod tests {
         let cat = small_catalog(4);
         let d = t.decide(SimTime::ZERO, &cat, &[]);
         assert!(d.beneficial.is_empty());
-        assert!(d.deletions.is_empty(), "unbuilt indexes are never 'deleted'");
+        assert!(
+            d.deletions.is_empty(),
+            "unbuilt indexes are never 'deleted'"
+        );
     }
 
     #[test]
     fn queued_dataflow_makes_its_index_beneficial() {
         let t = tuner();
         let cat = small_catalog(4);
-        let current = HashMap::from([(IndexId(2), (5.0, 4.0))]);
+        let current = BTreeMap::from([(IndexId(2), (5.0, 4.0))]);
         let d = t.decide(SimTime::ZERO, &cat, &[&current]);
         assert_eq!(d.beneficial.len(), 1);
         assert_eq!(d.beneficial[0].0, IndexId(2));
@@ -182,7 +201,7 @@ mod tests {
         t.history.record(HistoryEntry {
             dataflow: DataflowId(0),
             finished_at: SimTime::from_secs(60),
-            index_gains: HashMap::from([(IndexId(0), (6.0, 6.0))]),
+            index_gains: BTreeMap::from([(IndexId(0), (6.0, 6.0))]),
         });
         // Shortly after: still beneficial (built => no build cost).
         let d = t.decide(SimTime::from_secs(120), &cat, &[]);
@@ -197,7 +216,10 @@ mod tests {
         // Once the contribution leaves the W = 10 quanta window entirely,
         // both gains are non-positive and the built index is deleted.
         let d = t.decide(SimTime::from_secs(60 * 12), &cat, &[]);
-        assert!(d.deletions.contains(&IndexId(0)), "faded built index is deleted");
+        assert!(
+            d.deletions.contains(&IndexId(0)),
+            "faded built index is deleted"
+        );
     }
 
     #[test]
@@ -215,7 +237,7 @@ mod tests {
             let entry = HistoryEntry {
                 dataflow: DataflowId(k as u32),
                 finished_at: at,
-                index_gains: HashMap::from([(IndexId(0), (6.0, 6.0))]),
+                index_gains: BTreeMap::from([(IndexId(0), (6.0, 6.0))]),
             };
             global.history.record(entry.clone());
             adaptive.history.record(entry);
@@ -237,7 +259,7 @@ mod tests {
     fn ranking_prefers_higher_gain_indexes() {
         let t = tuner();
         let cat = small_catalog(3);
-        let current = HashMap::from([
+        let current = BTreeMap::from([
             (IndexId(0), (2.0, 2.0)),
             (IndexId(1), (9.0, 9.0)),
             (IndexId(2), (4.0, 4.0)),

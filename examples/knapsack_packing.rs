@@ -61,7 +61,10 @@ fn main() {
     .enumerate()
     .map(|(i, (secs, gain))| BuildOp {
         id: BuildOpId(i as u32),
-        build: BuildRef { index: IndexId(i as u32), part: 0 },
+        build: BuildRef {
+            index: IndexId(i as u32),
+            part: 0,
+        },
         duration: SimDuration::from_secs(*secs),
         gain: *gain,
     })
@@ -70,7 +73,11 @@ fn main() {
     let placed = LpInterleaver::new(Q).interleave(&mut schedule, &pending);
     let after = total_fragmentation(&schedule, Q);
     println!();
-    println!("LP interleaver placed {} of {} build ops:", placed.len(), pending.len());
+    println!(
+        "LP interleaver placed {} of {} build ops:",
+        placed.len(),
+        pending.len()
+    );
     for a in schedule.build_assignments() {
         println!(
             "  {} on {} [{:>5.0}s, {:>5.0}s)",
@@ -87,13 +94,13 @@ fn main() {
     );
 
     // Compare packing quality against the baselines.
-    let slots: Vec<u64> =
-        idle_slots(&Schedule::from_assignments(
-            schedule.dataflow_assignments().copied().collect(),
-        ), Q)
-        .iter()
-        .map(|s| s.duration().as_millis())
-        .collect();
+    let slots: Vec<u64> = idle_slots(
+        &Schedule::from_assignments(schedule.dataflow_assignments().copied().collect()),
+        Q,
+    )
+    .iter()
+    .map(|s| s.duration().as_millis())
+    .collect();
     let sizes: Vec<u64> = pending.iter().map(|b| b.duration.as_millis()).collect();
     let gains: Vec<f64> = pending.iter().map(|b| b.gain).collect();
     let (_, graham) = graham_greedy(&slots, &sizes, &gains);

@@ -7,7 +7,7 @@
 //! cargo run --release -p flowtune-core --example montage_pipeline
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_cloud::{IndexAvailability, Simulator};
 use flowtune_common::{BuildOpId, DataflowId, ExperimentParams, SimRng, SimTime};
@@ -17,7 +17,7 @@ use flowtune_interleave::{BuildOp, LpInterleaver};
 use flowtune_sched::{idle_slots, total_fragmentation, BuildRef, SkylineScheduler};
 
 fn main() {
-    let mut setup = ExperimentSetup::new(ExperimentParams::default());
+    let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
 
     // 1. Generate a Montage dataflow reading its files' partitions.
@@ -72,7 +72,10 @@ fn main() {
         for (part, duration, _) in setup.catalog.remaining_build_ops(u.index) {
             pending.push(BuildOp {
                 id: BuildOpId(pending.len() as u32),
-                build: BuildRef { index: u.index, part: part as u32 },
+                build: BuildRef {
+                    index: u.index,
+                    part: part as u32,
+                },
                 duration,
                 gain: u.speedup,
             });
@@ -96,7 +99,7 @@ fn main() {
         &schedule,
         &df.index_uses,
         &IndexAvailability::new(),
-        &HashMap::new(),
+        &BTreeMap::new(),
     );
     println!(
         "\nexecuted: makespan {:.1}s, {} leased quanta ({}), {} builds completed, {} killed",

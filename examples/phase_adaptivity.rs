@@ -15,14 +15,29 @@ fn main() {
     // A compressed version of the paper's 720-quantum phase schedule.
     config.params.total_quanta = 180;
     config.workload = WorkloadKind::Phases(vec![
-        (flowtune_dataflow::App::Cybershake, flowtune_common::SimDuration::from_secs(2500)),
-        (flowtune_dataflow::App::Ligo, flowtune_common::SimDuration::from_secs(1250)),
-        (flowtune_dataflow::App::Montage, flowtune_common::SimDuration::from_secs(5000)),
-        (flowtune_dataflow::App::Cybershake, flowtune_common::SimDuration::from_secs(2050)),
+        (
+            flowtune_dataflow::App::Cybershake,
+            flowtune_common::SimDuration::from_secs(2500),
+        ),
+        (
+            flowtune_dataflow::App::Ligo,
+            flowtune_common::SimDuration::from_secs(1250),
+        ),
+        (
+            flowtune_dataflow::App::Montage,
+            flowtune_common::SimDuration::from_secs(5000),
+        ),
+        (
+            flowtune_dataflow::App::Cybershake,
+            flowtune_common::SimDuration::from_secs(2050),
+        ),
     ]);
     config.policy = IndexPolicy::Gain { delete: true };
 
-    println!("running a phased workload for {} quanta...", config.params.total_quanta);
+    println!(
+        "running a phased workload for {} quanta...",
+        config.params.total_quanta
+    );
     let mut service = QaasService::new(config);
     let report = service.run();
 

@@ -16,14 +16,20 @@ fn main() {
     config.workload = WorkloadKind::Random;
     config.policy = IndexPolicy::Gain { delete: true };
 
-    println!("running the QaaS service for {} quanta...", config.params.total_quanta);
+    println!(
+        "running the QaaS service for {} quanta...",
+        config.params.total_quanta
+    );
     let mut service = QaasService::new(config);
     let report = service.run();
 
     println!();
     println!("dataflows issued:       {}", report.dataflows_issued);
     println!("dataflows finished:     {}", report.dataflows_finished);
-    println!("avg time per dataflow:  {:.2} quanta", report.avg_makespan_quanta());
+    println!(
+        "avg time per dataflow:  {:.2} quanta",
+        report.avg_makespan_quanta()
+    );
     println!("cost per dataflow:      ${:.3}", report.cost_per_dataflow());
     println!("compute cost:           {}", report.compute_cost);
     println!("index storage cost:     {}", report.index_storage_cost);

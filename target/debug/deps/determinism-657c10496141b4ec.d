@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-657c10496141b4ec.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-657c10496141b4ec: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

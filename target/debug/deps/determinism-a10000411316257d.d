@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a10000411316257d.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a10000411316257d: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-771b5174031216c1.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-771b5174031216c1: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

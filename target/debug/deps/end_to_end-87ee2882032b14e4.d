@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-87ee2882032b14e4.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-87ee2882032b14e4: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-584894f9a7733ad0.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-584894f9a7733ad0: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

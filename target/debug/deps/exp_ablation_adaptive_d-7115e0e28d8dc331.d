@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-7115e0e28d8dc331.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-7115e0e28d8dc331: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-9c35e1884751305c.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-9c35e1884751305c: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

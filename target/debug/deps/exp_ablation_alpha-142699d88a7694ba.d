@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-142699d88a7694ba.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-142699d88a7694ba: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-34f686738a2f3478.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-34f686738a2f3478: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-ac4e4965b27ea581.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-ac4e4965b27ea581: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-b72d91d6731fd570.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-b72d91d6731fd570: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-a84a7e23766981ed.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-a84a7e23766981ed: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-bba18a4e68382f12.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-bba18a4e68382f12: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-f8075e368b21a09a.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-f8075e368b21a09a: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

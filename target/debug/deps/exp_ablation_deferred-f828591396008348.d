@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-f828591396008348.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-f828591396008348: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-85b2cea87d89ff21.d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-85b2cea87d89ff21: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+crates/bench/src/bin/exp_fig11_knapsack_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-fc7ccf9cb378db9e.d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-fc7ccf9cb378db9e: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+crates/bench/src/bin/exp_fig11_knapsack_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_phase_workload-7683dde682fb8bc2.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/debug/deps/exp_fig12_phase_workload-7683dde682fb8bc2: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_phase_workload-92cde0ec4d4f1212.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/debug/deps/exp_fig12_phase_workload-92cde0ec4d4f1212: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_phase_workload-a0ffa68096f08fb0.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/debug/deps/exp_fig12_phase_workload-a0ffa68096f08fb0: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

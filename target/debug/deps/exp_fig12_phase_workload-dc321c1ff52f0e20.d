@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_phase_workload-dc321c1ff52f0e20.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/debug/deps/exp_fig12_phase_workload-dc321c1ff52f0e20: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-7113a9f1be59e946.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-7113a9f1be59e946: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

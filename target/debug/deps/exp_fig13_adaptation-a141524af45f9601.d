@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-a141524af45f9601.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-a141524af45f9601: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

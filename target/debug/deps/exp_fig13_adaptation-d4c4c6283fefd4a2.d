@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-d4c4c6283fefd4a2.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-d4c4c6283fefd4a2: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

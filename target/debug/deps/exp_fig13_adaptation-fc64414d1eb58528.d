@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-fc64414d1eb58528.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-fc64414d1eb58528: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

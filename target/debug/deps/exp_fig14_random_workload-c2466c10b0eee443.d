@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14_random_workload-c2466c10b0eee443.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/debug/deps/exp_fig14_random_workload-c2466c10b0eee443: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

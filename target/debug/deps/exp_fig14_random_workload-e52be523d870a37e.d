@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14_random_workload-e52be523d870a37e.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/debug/deps/exp_fig14_random_workload-e52be523d870a37e: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_gain_example-671e58e08e5bbecd.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/debug/deps/exp_fig3_gain_example-671e58e08e5bbecd: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

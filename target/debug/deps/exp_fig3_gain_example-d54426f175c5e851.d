@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_gain_example-d54426f175c5e851.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/debug/deps/exp_fig3_gain_example-d54426f175c5e851: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_gain_example-f23b8035f73ca20e.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/debug/deps/exp_fig3_gain_example-f23b8035f73ca20e: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-42b2f3819e078b3c.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-42b2f3819e078b3c: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

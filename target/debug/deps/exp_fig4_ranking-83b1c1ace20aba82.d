@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-83b1c1ace20aba82.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-83b1c1ace20aba82: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

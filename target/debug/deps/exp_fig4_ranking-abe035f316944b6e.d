@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-abe035f316944b6e.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-abe035f316944b6e: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-c2f798807f7cdabd.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-c2f798807f7cdabd: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

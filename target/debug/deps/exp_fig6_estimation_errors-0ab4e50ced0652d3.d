@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-0ab4e50ced0652d3.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-0ab4e50ced0652d3: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

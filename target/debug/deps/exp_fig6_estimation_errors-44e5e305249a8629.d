@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-44e5e305249a8629.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-44e5e305249a8629: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-c79bdb03ce254cb1.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-c79bdb03ce254cb1: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-f0d92ee6a6fc7c06.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-f0d92ee6a6fc7c06: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-056363d78e2b1ad6.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-056363d78e2b1ad6: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-4c401f49c402a710.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-4c401f49c402a710: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

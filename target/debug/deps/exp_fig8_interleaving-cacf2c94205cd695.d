@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-cacf2c94205cd695.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-cacf2c94205cd695: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-dfe7223943f10793.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-dfe7223943f10793: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

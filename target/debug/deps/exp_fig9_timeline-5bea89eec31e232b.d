@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_timeline-5bea89eec31e232b.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/debug/deps/exp_fig9_timeline-5bea89eec31e232b: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_timeline-8a58a1f0e3393476.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/debug/deps/exp_fig9_timeline-8a58a1f0e3393476: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

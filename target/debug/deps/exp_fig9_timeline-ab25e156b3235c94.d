@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_timeline-ab25e156b3235c94.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/debug/deps/exp_fig9_timeline-ab25e156b3235c94: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-0a42273a6af80bd4.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-0a42273a6af80bd4: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

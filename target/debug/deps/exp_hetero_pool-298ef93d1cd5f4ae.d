@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-298ef93d1cd5f4ae.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-298ef93d1cd5f4ae: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-88b7fbd70e5f3cf8.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-88b7fbd70e5f3cf8: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

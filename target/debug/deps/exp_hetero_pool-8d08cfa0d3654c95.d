@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-8d08cfa0d3654c95.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-8d08cfa0d3654c95: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

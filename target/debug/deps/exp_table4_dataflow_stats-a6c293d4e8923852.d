@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-a6c293d4e8923852.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-a6c293d4e8923852: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

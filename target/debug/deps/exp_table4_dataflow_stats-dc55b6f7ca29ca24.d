@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-dc55b6f7ca29ca24.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-dc55b6f7ca29ca24: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-dd5e03beeb0bee99.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-dd5e03beeb0bee99: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

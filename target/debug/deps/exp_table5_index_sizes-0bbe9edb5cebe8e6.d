@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5_index_sizes-0bbe9edb5cebe8e6.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/debug/deps/exp_table5_index_sizes-0bbe9edb5cebe8e6: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

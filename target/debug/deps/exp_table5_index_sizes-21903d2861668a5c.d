@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5_index_sizes-21903d2861668a5c.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/debug/deps/exp_table5_index_sizes-21903d2861668a5c: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5_index_sizes-abc54da61e4f5b91.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/debug/deps/exp_table5_index_sizes-abc54da61e4f5b91: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table6_speedups-0f05be8987853d8d.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/debug/deps/exp_table6_speedups-0f05be8987853d8d: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

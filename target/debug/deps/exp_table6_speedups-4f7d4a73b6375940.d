@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table6_speedups-4f7d4a73b6375940.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/debug/deps/exp_table6_speedups-4f7d4a73b6375940: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

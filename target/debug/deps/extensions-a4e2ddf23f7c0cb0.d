@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a4e2ddf23f7c0cb0.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a4e2ddf23f7c0cb0: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

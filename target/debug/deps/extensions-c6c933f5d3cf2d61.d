@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c6c933f5d3cf2d61.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c6c933f5d3cf2d61: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

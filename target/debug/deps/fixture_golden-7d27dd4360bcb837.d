@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fixture_golden-7d27dd4360bcb837.d: crates/analyze/tests/fixture_golden.rs
+
+/root/repo/target/debug/deps/fixture_golden-7d27dd4360bcb837: crates/analyze/tests/fixture_golden.rs
+
+crates/analyze/tests/fixture_golden.rs:
+
+# env-dep:CARGO_BIN_EXE_flowtune-analyze=/root/repo/target/debug/flowtune-analyze
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

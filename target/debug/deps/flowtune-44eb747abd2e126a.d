@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-44eb747abd2e126a.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-44eb747abd2e126a: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

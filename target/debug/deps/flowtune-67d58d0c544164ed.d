@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-67d58d0c544164ed.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-67d58d0c544164ed: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-d6886641b226c0fa.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-d6886641b226c0fa: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

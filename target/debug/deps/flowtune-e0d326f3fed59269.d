@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-e0d326f3fed59269.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-e0d326f3fed59269: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flowtune_analyze-96d4768424f0964d.d: crates/analyze/src/lib.rs crates/analyze/src/rules/mod.rs crates/analyze/src/rules/dep_hygiene.rs crates/analyze/src/rules/determinism.rs crates/analyze/src/rules/newtype.rs crates/analyze/src/rules/ordered_iteration.rs crates/analyze/src/rules/panic_hygiene.rs crates/analyze/src/scan.rs crates/analyze/src/workspace.rs
+
+/root/repo/target/debug/deps/flowtune_analyze-96d4768424f0964d: crates/analyze/src/lib.rs crates/analyze/src/rules/mod.rs crates/analyze/src/rules/dep_hygiene.rs crates/analyze/src/rules/determinism.rs crates/analyze/src/rules/newtype.rs crates/analyze/src/rules/ordered_iteration.rs crates/analyze/src/rules/panic_hygiene.rs crates/analyze/src/scan.rs crates/analyze/src/workspace.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/rules/mod.rs:
+crates/analyze/src/rules/dep_hygiene.rs:
+crates/analyze/src/rules/determinism.rs:
+crates/analyze/src/rules/newtype.rs:
+crates/analyze/src/rules/ordered_iteration.rs:
+crates/analyze/src/rules/panic_hygiene.rs:
+crates/analyze/src/scan.rs:
+crates/analyze/src/workspace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

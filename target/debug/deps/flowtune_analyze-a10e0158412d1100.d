@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune_analyze-a10e0158412d1100.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/flowtune_analyze-a10e0158412d1100: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

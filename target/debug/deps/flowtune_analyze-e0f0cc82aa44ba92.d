@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune_analyze-e0f0cc82aa44ba92.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/flowtune_analyze-e0f0cc82aa44ba92: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

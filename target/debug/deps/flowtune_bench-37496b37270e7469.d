@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flowtune_bench-37496b37270e7469.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/flowtune_bench-37496b37270e7469: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flowtune_bench-4057a477657df4ec.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-4057a477657df4ec.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-4057a477657df4ec.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flowtune_bench-4a59af0629ec35ed.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-4a59af0629ec35ed.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-4a59af0629ec35ed.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flowtune_bench-e21fd7f6a214df23.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/flowtune_bench-e21fd7f6a214df23: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flowtune_common-2d02446019439e54.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+/root/repo/target/debug/deps/libflowtune_common-2d02446019439e54.rlib: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+/root/repo/target/debug/deps/libflowtune_common-2d02446019439e54.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/pricing.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:

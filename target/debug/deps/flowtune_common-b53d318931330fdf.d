@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flowtune_common-b53d318931330fdf.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+/root/repo/target/debug/deps/flowtune_common-b53d318931330fdf: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/pricing.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:

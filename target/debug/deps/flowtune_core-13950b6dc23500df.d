@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_core-13950b6dc23500df.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/debug/deps/flowtune_core-13950b6dc23500df: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/tablefmt.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flowtune_dataflow-5d715daf7af61038.d: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+/root/repo/target/debug/deps/libflowtune_dataflow-5d715daf7af61038.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+/root/repo/target/debug/deps/libflowtune_dataflow-5d715daf7af61038.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/apps.rs:
+crates/dataflow/src/client.rs:
+crates/dataflow/src/dag.rs:
+crates/dataflow/src/dataflow.rs:
+crates/dataflow/src/filedb.rs:
+crates/dataflow/src/op.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_dataflow-fd3b88020fd9ae2b.d: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+/root/repo/target/debug/deps/flowtune_dataflow-fd3b88020fd9ae2b: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/apps.rs:
+crates/dataflow/src/client.rs:
+crates/dataflow/src/dag.rs:
+crates/dataflow/src/dataflow.rs:
+crates/dataflow/src/filedb.rs:
+crates/dataflow/src/op.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flowtune_index-23a755daddfae7d9.d: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/debug/deps/flowtune_index-23a755daddfae7d9: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bptree.rs:
+crates/index/src/catalog.rs:
+crates/index/src/hash.rs:
+crates/index/src/model.rs:

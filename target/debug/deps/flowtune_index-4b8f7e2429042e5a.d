@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_index-4b8f7e2429042e5a.d: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/debug/deps/libflowtune_index-4b8f7e2429042e5a.rlib: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/debug/deps/libflowtune_index-4b8f7e2429042e5a.rmeta: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bptree.rs:
+crates/index/src/catalog.rs:
+crates/index/src/hash.rs:
+crates/index/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_index-648d7b08d924d168.d: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/debug/deps/libflowtune_index-648d7b08d924d168.rlib: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/debug/deps/libflowtune_index-648d7b08d924d168.rmeta: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bptree.rs:
+crates/index/src/catalog.rs:
+crates/index/src/hash.rs:
+crates/index/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_interleave-81b94988e681857e.d: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/debug/deps/flowtune_interleave-81b94988e681857e: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+crates/interleave/src/lib.rs:
+crates/interleave/src/buildop.rs:
+crates/interleave/src/deferred.rs:
+crates/interleave/src/knapsack.rs:
+crates/interleave/src/lp.rs:
+crates/interleave/src/online.rs:

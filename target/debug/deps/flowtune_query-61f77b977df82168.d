@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flowtune_query-61f77b977df82168.d: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+/root/repo/target/debug/deps/libflowtune_query-61f77b977df82168.rlib: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+/root/repo/target/debug/deps/libflowtune_query-61f77b977df82168.rmeta: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+crates/query/src/lib.rs:
+crates/query/src/group.rs:
+crates/query/src/join.rs:
+crates/query/src/lookup.rs:
+crates/query/src/plan.rs:
+crates/query/src/sort.rs:
+crates/query/src/table6.rs:
+crates/query/src/timer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flowtune_query-c0050b21c0dfc260.d: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+/root/repo/target/debug/deps/flowtune_query-c0050b21c0dfc260: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+crates/query/src/lib.rs:
+crates/query/src/group.rs:
+crates/query/src/join.rs:
+crates/query/src/lookup.rs:
+crates/query/src/plan.rs:
+crates/query/src/sort.rs:
+crates/query/src/table6.rs:
+crates/query/src/timer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_sched-aa042e6f17e1be93.d: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/debug/deps/flowtune_sched-aa042e6f17e1be93: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/hetero.rs:
+crates/sched/src/online_lb.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/skyline.rs:
+crates/sched/src/slots.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flowtune_storage-68f9e985e12d87a5.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libflowtune_storage-68f9e985e12d87a5.rlib: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libflowtune_storage-68f9e985e12d87a5.rmeta: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/column.rs:
+crates/storage/src/lineitem.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/store.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

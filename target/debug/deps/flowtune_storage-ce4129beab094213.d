@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flowtune_storage-ce4129beab094213.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/flowtune_storage-ce4129beab094213: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/column.rs:
+crates/storage/src/lineitem.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/store.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

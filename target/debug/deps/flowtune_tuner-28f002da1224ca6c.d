@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_tuner-28f002da1224ca6c.d: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/flowtune_tuner-28f002da1224ca6c: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+crates/tuner/src/lib.rs:
+crates/tuner/src/adaptive.rs:
+crates/tuner/src/estimate.rs:
+crates/tuner/src/gain.rs:
+crates/tuner/src/history.rs:
+crates/tuner/src/rank.rs:
+crates/tuner/src/tuning.rs:

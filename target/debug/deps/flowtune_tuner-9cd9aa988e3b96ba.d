@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flowtune_tuner-9cd9aa988e3b96ba.d: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/libflowtune_tuner-9cd9aa988e3b96ba.rlib: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/libflowtune_tuner-9cd9aa988e3b96ba.rmeta: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+crates/tuner/src/lib.rs:
+crates/tuner/src/adaptive.rs:
+crates/tuner/src/estimate.rs:
+crates/tuner/src/gain.rs:
+crates/tuner/src/history.rs:
+crates/tuner/src/rank.rs:
+crates/tuner/src/tuning.rs:

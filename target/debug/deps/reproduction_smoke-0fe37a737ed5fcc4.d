@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_smoke-0fe37a737ed5fcc4.d: crates/core/../../tests/reproduction_smoke.rs
+
+/root/repo/target/debug/deps/reproduction_smoke-0fe37a737ed5fcc4: crates/core/../../tests/reproduction_smoke.rs
+
+crates/core/../../tests/reproduction_smoke.rs:

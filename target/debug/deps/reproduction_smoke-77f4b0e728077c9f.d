@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_smoke-77f4b0e728077c9f.d: crates/core/../../tests/reproduction_smoke.rs
+
+/root/repo/target/debug/deps/reproduction_smoke-77f4b0e728077c9f: crates/core/../../tests/reproduction_smoke.rs
+
+crates/core/../../tests/reproduction_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_pipeline-b0af95e2204a5e55.d: crates/core/../../tests/schedule_pipeline.rs
+
+/root/repo/target/debug/deps/schedule_pipeline-b0af95e2204a5e55: crates/core/../../tests/schedule_pipeline.rs
+
+crates/core/../../tests/schedule_pipeline.rs:

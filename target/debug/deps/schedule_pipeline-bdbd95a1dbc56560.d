@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_pipeline-bdbd95a1dbc56560.d: crates/core/../../tests/schedule_pipeline.rs
+
+/root/repo/target/debug/deps/schedule_pipeline-bdbd95a1dbc56560: crates/core/../../tests/schedule_pipeline.rs
+
+crates/core/../../tests/schedule_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_properties-8c11c3dc5e5a6bdc.d: crates/sched/tests/schedule_properties.rs
+
+/root/repo/target/debug/deps/schedule_properties-8c11c3dc5e5a6bdc: crates/sched/tests/schedule_properties.rs
+
+crates/sched/tests/schedule_properties.rs:

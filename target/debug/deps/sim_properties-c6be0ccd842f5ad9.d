@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-c6be0ccd842f5ad9.d: crates/cloud/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-c6be0ccd842f5ad9: crates/cloud/tests/sim_properties.rs
+
+crates/cloud/tests/sim_properties.rs:

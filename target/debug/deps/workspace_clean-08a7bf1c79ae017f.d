@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-08a7bf1c79ae017f.d: crates/analyze/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-08a7bf1c79ae017f: crates/analyze/tests/workspace_clean.rs
+
+crates/analyze/tests/workspace_clean.rs:
+
+# env-dep:CARGO_BIN_EXE_flowtune-analyze=/root/repo/target/debug/flowtune-analyze

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-28f698c73500e2e0.d: crates/core/../../examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-28f698c73500e2e0: crates/core/../../examples/cost_explorer.rs
+
+crates/core/../../examples/cost_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-d5f6d188a27789d9.d: crates/core/../../examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-d5f6d188a27789d9: crates/core/../../examples/cost_explorer.rs
+
+crates/core/../../examples/cost_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knapsack_packing-191b0b8e1b9321ec.d: crates/core/../../examples/knapsack_packing.rs
+
+/root/repo/target/debug/examples/knapsack_packing-191b0b8e1b9321ec: crates/core/../../examples/knapsack_packing.rs
+
+crates/core/../../examples/knapsack_packing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knapsack_packing-cac9f31275418cd2.d: crates/core/../../examples/knapsack_packing.rs
+
+/root/repo/target/debug/examples/knapsack_packing-cac9f31275418cd2: crates/core/../../examples/knapsack_packing.rs
+
+crates/core/../../examples/knapsack_packing.rs:

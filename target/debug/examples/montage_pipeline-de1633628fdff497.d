@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/montage_pipeline-de1633628fdff497.d: crates/core/../../examples/montage_pipeline.rs
+
+/root/repo/target/debug/examples/montage_pipeline-de1633628fdff497: crates/core/../../examples/montage_pipeline.rs
+
+crates/core/../../examples/montage_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/montage_pipeline-f81573a37d6f6f54.d: crates/core/../../examples/montage_pipeline.rs
+
+/root/repo/target/debug/examples/montage_pipeline-f81573a37d6f6f54: crates/core/../../examples/montage_pipeline.rs
+
+crates/core/../../examples/montage_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phase_adaptivity-371fd014d672b6b6.d: crates/core/../../examples/phase_adaptivity.rs
+
+/root/repo/target/debug/examples/phase_adaptivity-371fd014d672b6b6: crates/core/../../examples/phase_adaptivity.rs
+
+crates/core/../../examples/phase_adaptivity.rs:

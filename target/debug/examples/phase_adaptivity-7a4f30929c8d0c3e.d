@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phase_adaptivity-7a4f30929c8d0c3e.d: crates/core/../../examples/phase_adaptivity.rs
+
+/root/repo/target/debug/examples/phase_adaptivity-7a4f30929c8d0c3e: crates/core/../../examples/phase_adaptivity.rs
+
+crates/core/../../examples/phase_adaptivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-88cc958355a2994c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-88cc958355a2994c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

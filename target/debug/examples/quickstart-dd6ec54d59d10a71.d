@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dd6ec54d59d10a71.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dd6ec54d59d10a71: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_alpha-3192e90fc2126050.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/release/deps/exp_ablation_alpha-3192e90fc2126050: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_deferred-469f9bc276cdae19.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/release/deps/exp_ablation_deferred-469f9bc276cdae19: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

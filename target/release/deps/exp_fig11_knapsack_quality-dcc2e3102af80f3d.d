@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11_knapsack_quality-dcc2e3102af80f3d.d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+/root/repo/target/release/deps/exp_fig11_knapsack_quality-dcc2e3102af80f3d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+crates/bench/src/bin/exp_fig11_knapsack_quality.rs:

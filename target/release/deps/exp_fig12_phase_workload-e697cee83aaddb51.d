@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12_phase_workload-e697cee83aaddb51.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/release/deps/exp_fig12_phase_workload-e697cee83aaddb51: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13_adaptation-5fd546b4bbb4edba.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/release/deps/exp_fig13_adaptation-5fd546b4bbb4edba: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

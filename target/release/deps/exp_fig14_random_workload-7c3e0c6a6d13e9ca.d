@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14_random_workload-7c3e0c6a6d13e9ca.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/release/deps/exp_fig14_random_workload-7c3e0c6a6d13e9ca: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

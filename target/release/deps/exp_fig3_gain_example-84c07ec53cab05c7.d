@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_gain_example-84c07ec53cab05c7.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/release/deps/exp_fig3_gain_example-84c07ec53cab05c7: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_ranking-15bfc26e51681116.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/release/deps/exp_fig4_ranking-15bfc26e51681116: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6_estimation_errors-d8e84608398ad55d.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/release/deps/exp_fig6_estimation_errors-d8e84608398ad55d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

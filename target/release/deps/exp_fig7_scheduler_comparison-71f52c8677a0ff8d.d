@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_scheduler_comparison-71f52c8677a0ff8d.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/release/deps/exp_fig7_scheduler_comparison-71f52c8677a0ff8d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

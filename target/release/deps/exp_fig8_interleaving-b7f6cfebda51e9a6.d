@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8_interleaving-b7f6cfebda51e9a6.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/release/deps/exp_fig8_interleaving-b7f6cfebda51e9a6: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

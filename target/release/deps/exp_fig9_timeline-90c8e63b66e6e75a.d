@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9_timeline-90c8e63b66e6e75a.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/release/deps/exp_fig9_timeline-90c8e63b66e6e75a: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_hetero_pool-9c5def4fc88c21ea.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/release/deps/exp_hetero_pool-9c5def4fc88c21ea: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

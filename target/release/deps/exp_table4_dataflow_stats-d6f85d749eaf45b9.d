@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4_dataflow_stats-d6f85d749eaf45b9.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/release/deps/exp_table4_dataflow_stats-d6f85d749eaf45b9: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table5_index_sizes-03bd2b3299c82967.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/release/deps/exp_table5_index_sizes-03bd2b3299c82967: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table6_speedups-c269605bce5404a9.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/release/deps/exp_table6_speedups-c269605bce5404a9: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flowtune-ddb513b4a3a52e79.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/release/deps/flowtune-ddb513b4a3a52e79: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flowtune_analyze-3f1ce0badf88b5d2.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/flowtune_analyze-3f1ce0badf88b5d2: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

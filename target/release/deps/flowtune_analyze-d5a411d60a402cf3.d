@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/flowtune_analyze-d5a411d60a402cf3.d: crates/analyze/src/lib.rs crates/analyze/src/rules/mod.rs crates/analyze/src/rules/dep_hygiene.rs crates/analyze/src/rules/determinism.rs crates/analyze/src/rules/newtype.rs crates/analyze/src/rules/ordered_iteration.rs crates/analyze/src/rules/panic_hygiene.rs crates/analyze/src/scan.rs crates/analyze/src/workspace.rs
+
+/root/repo/target/release/deps/libflowtune_analyze-d5a411d60a402cf3.rlib: crates/analyze/src/lib.rs crates/analyze/src/rules/mod.rs crates/analyze/src/rules/dep_hygiene.rs crates/analyze/src/rules/determinism.rs crates/analyze/src/rules/newtype.rs crates/analyze/src/rules/ordered_iteration.rs crates/analyze/src/rules/panic_hygiene.rs crates/analyze/src/scan.rs crates/analyze/src/workspace.rs
+
+/root/repo/target/release/deps/libflowtune_analyze-d5a411d60a402cf3.rmeta: crates/analyze/src/lib.rs crates/analyze/src/rules/mod.rs crates/analyze/src/rules/dep_hygiene.rs crates/analyze/src/rules/determinism.rs crates/analyze/src/rules/newtype.rs crates/analyze/src/rules/ordered_iteration.rs crates/analyze/src/rules/panic_hygiene.rs crates/analyze/src/scan.rs crates/analyze/src/workspace.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/rules/mod.rs:
+crates/analyze/src/rules/dep_hygiene.rs:
+crates/analyze/src/rules/determinism.rs:
+crates/analyze/src/rules/newtype.rs:
+crates/analyze/src/rules/ordered_iteration.rs:
+crates/analyze/src/rules/panic_hygiene.rs:
+crates/analyze/src/scan.rs:
+crates/analyze/src/workspace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

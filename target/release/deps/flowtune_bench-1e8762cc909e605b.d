@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flowtune_bench-1e8762cc909e605b.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libflowtune_bench-1e8762cc909e605b.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libflowtune_bench-1e8762cc909e605b.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/flowtune_common-c14e964d60508581.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+/root/repo/target/release/deps/libflowtune_common-c14e964d60508581.rlib: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+/root/repo/target/release/deps/libflowtune_common-c14e964d60508581.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/histogram.rs crates/common/src/ids.rs crates/common/src/money.rs crates/common/src/pricing.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/histogram.rs:
+crates/common/src/ids.rs:
+crates/common/src/money.rs:
+crates/common/src/pricing.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flowtune_dataflow-ce1ed87b8db349e9.d: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+/root/repo/target/release/deps/libflowtune_dataflow-ce1ed87b8db349e9.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+/root/repo/target/release/deps/libflowtune_dataflow-ce1ed87b8db349e9.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/apps.rs crates/dataflow/src/client.rs crates/dataflow/src/dag.rs crates/dataflow/src/dataflow.rs crates/dataflow/src/filedb.rs crates/dataflow/src/op.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/apps.rs:
+crates/dataflow/src/client.rs:
+crates/dataflow/src/dag.rs:
+crates/dataflow/src/dataflow.rs:
+crates/dataflow/src/filedb.rs:
+crates/dataflow/src/op.rs:

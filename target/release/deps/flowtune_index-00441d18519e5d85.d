@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flowtune_index-00441d18519e5d85.d: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/release/deps/libflowtune_index-00441d18519e5d85.rlib: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+/root/repo/target/release/deps/libflowtune_index-00441d18519e5d85.rmeta: crates/index/src/lib.rs crates/index/src/bptree.rs crates/index/src/catalog.rs crates/index/src/hash.rs crates/index/src/model.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bptree.rs:
+crates/index/src/catalog.rs:
+crates/index/src/hash.rs:
+crates/index/src/model.rs:

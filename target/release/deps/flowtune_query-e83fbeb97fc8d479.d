@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flowtune_query-e83fbeb97fc8d479.d: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+/root/repo/target/release/deps/libflowtune_query-e83fbeb97fc8d479.rlib: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+/root/repo/target/release/deps/libflowtune_query-e83fbeb97fc8d479.rmeta: crates/query/src/lib.rs crates/query/src/group.rs crates/query/src/join.rs crates/query/src/lookup.rs crates/query/src/plan.rs crates/query/src/sort.rs crates/query/src/table6.rs crates/query/src/timer.rs
+
+crates/query/src/lib.rs:
+crates/query/src/group.rs:
+crates/query/src/join.rs:
+crates/query/src/lookup.rs:
+crates/query/src/plan.rs:
+crates/query/src/sort.rs:
+crates/query/src/table6.rs:
+crates/query/src/timer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flowtune_storage-47ba1136c4caac81.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libflowtune_storage-47ba1136c4caac81.rlib: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libflowtune_storage-47ba1136c4caac81.rmeta: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/lineitem.rs crates/storage/src/schema.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/column.rs:
+crates/storage/src/lineitem.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/store.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

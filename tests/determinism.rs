@@ -1,7 +1,7 @@
 //! Reproducibility: every layer of the system is deterministic for a
 //! fixed seed — a property the experiment harness depends on.
 
-use flowtune_common::{ExperimentParams, SimRng};
+use flowtune_common::SimRng;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::{App, ArrivalClient, FileDatabase, WorkloadKind};
 use flowtune_sched::SkylineScheduler;
@@ -34,6 +34,24 @@ fn full_service_runs_are_bit_identical_per_seed() {
         a.dataflows_issued != c.dataflows_issued || a.compute_cost != c.compute_cost,
         "different seeds produced identical runs"
     );
+}
+
+#[test]
+fn full_service_reports_are_byte_identical_per_seed() {
+    // Stronger than field equality: the rendered report — every float,
+    // every per-dataflow record, every timeline sample — must agree to
+    // the byte. This is the regression net for iteration-order bugs
+    // (hash maps on the output path) that field spot checks can miss.
+    let run = |seed: u64| {
+        let mut config = ServiceConfig::default();
+        config.params.total_quanta = 25;
+        config.params.seed = seed;
+        config.policy = IndexPolicy::Gain { delete: true };
+        config.max_skyline = 4;
+        format!("{:?}", QaasService::new(config).run())
+    };
+    let (a, b) = (run(42), run(42));
+    assert!(a == b, "identical seeds rendered different reports");
 }
 
 #[test]

@@ -26,8 +26,16 @@ fn all_policies_complete_a_random_workload() {
     ] {
         let r = run(policy, WorkloadKind::Random, 30, 1);
         assert!(r.dataflows_issued > 0, "{}: nothing issued", policy.label());
-        assert!(r.dataflows_finished > 0, "{}: nothing finished", policy.label());
-        assert!(r.dataflow_ops >= r.dataflows_finished * 90, "{}", policy.label());
+        assert!(
+            r.dataflows_finished > 0,
+            "{}: nothing finished",
+            policy.label()
+        );
+        assert!(
+            r.dataflow_ops >= r.dataflows_finished * 90,
+            "{}",
+            policy.label()
+        );
         assert!(r.compute_cost > Money::ZERO, "{}", policy.label());
         assert_eq!(r.timeline.len(), r.dataflows_issued);
     }
@@ -37,7 +45,12 @@ fn all_policies_complete_a_random_workload() {
 fn gain_policy_beats_no_index_on_cost_and_throughput() {
     // Longer phased run so indexes have time to pay off.
     let base = run(IndexPolicy::NoIndex, WorkloadKind::paper_phases(), 120, 2);
-    let gain = run(IndexPolicy::Gain { delete: true }, WorkloadKind::paper_phases(), 120, 2);
+    let gain = run(
+        IndexPolicy::Gain { delete: true },
+        WorkloadKind::paper_phases(),
+        120,
+        2,
+    );
     assert!(
         gain.dataflows_finished >= base.dataflows_finished,
         "gain {} < base {}",
@@ -66,7 +79,12 @@ fn no_index_policy_attempts_no_builds() {
 fn killed_fraction_stays_small_for_gain_policy() {
     // Table 7: the LP packing keeps premature kills under a few percent
     // of all operators.
-    let r = run(IndexPolicy::Gain { delete: true }, WorkloadKind::paper_phases(), 90, 4);
+    let r = run(
+        IndexPolicy::Gain { delete: true },
+        WorkloadKind::paper_phases(),
+        90,
+        4,
+    );
     assert!(
         r.killed_percentage() < 15.0,
         "killed {}% of ops",
@@ -76,16 +94,24 @@ fn killed_fraction_stays_small_for_gain_policy() {
 
 #[test]
 fn timeline_cost_is_monotone_and_issue_order_respected() {
-    let r = run(IndexPolicy::Gain { delete: true }, WorkloadKind::Random, 40, 5);
+    let r = run(
+        IndexPolicy::Gain { delete: true },
+        WorkloadKind::Random,
+        40,
+        5,
+    );
     // Entries are in processing order; concurrent lanes may finish out
     // of order, but accrued storage cost never decreases and dataflows
     // are issued in arrival order.
     for w in r.timeline.windows(2) {
-        assert!(w[0].storage_cost <= w[1].storage_cost, "storage cost regressed");
+        assert!(
+            w[0].storage_cost <= w[1].storage_cost,
+            "storage cost regressed"
+        );
     }
     for w in r.per_dataflow.windows(2) {
         assert!(
-            w[0].issued_quanta <= w[1].issued_quanta + 1e-9,
+            w[0].issued_quanta <= w[1].issued_quanta + flowtune_common::Quanta::new(1e-9),
             "issue order violated"
         );
     }
@@ -93,12 +119,25 @@ fn timeline_cost_is_monotone_and_issue_order_respected() {
 
 #[test]
 fn deletions_only_happen_with_delete_enabled() {
-    let keep = run(IndexPolicy::Gain { delete: false }, WorkloadKind::paper_phases(), 90, 6);
+    let keep = run(
+        IndexPolicy::Gain { delete: false },
+        WorkloadKind::paper_phases(),
+        90,
+        6,
+    );
     assert_eq!(keep.indexes_deleted, 0);
     // With deletion enabled under a *phased* workload, stale indexes get
     // dropped eventually (phases make old indexes useless).
-    let del = run(IndexPolicy::Gain { delete: true }, WorkloadKind::paper_phases(), 240, 6);
-    assert!(del.indexes_deleted > 0, "no index ever deleted under phases");
+    let del = run(
+        IndexPolicy::Gain { delete: true },
+        WorkloadKind::paper_phases(),
+        240,
+        6,
+    );
+    assert!(
+        del.indexes_deleted > 0,
+        "no index ever deleted under phases"
+    );
 }
 
 #[test]

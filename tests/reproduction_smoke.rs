@@ -86,8 +86,7 @@ fn fig7_offline_scheduler_wins_on_data_intensive_dataflows() {
             on.leased_quanta(quantum) > off.leased_quanta(quantum),
             "x{factor}: online money must exceed offline"
         );
-        money_gap
-            .push(on.leased_quanta(quantum) as f64 / off.leased_quanta(quantum) as f64);
+        money_gap.push(on.leased_quanta(quantum) as f64 / off.leased_quanta(quantum) as f64);
     }
     // The money gap widens as the dataflow gets more data-intensive.
     assert!(
@@ -117,10 +116,13 @@ fn fig11_lp_packing_dominates_graham_and_nears_upper_bound() {
         .map(|q| (q * 60_000.0) as u64)
         .collect();
     let ops_quanta = [
-        0.02, 0.03, 0.03, 0.04, 0.05, 0.05, 0.06, 0.07, 0.08, 0.08, 0.09, 0.10, 0.10, 0.11,
-        0.12, 0.13, 0.14, 0.15, 0.16, 0.17, 0.18, 0.19, 0.19, 0.20,
+        0.02, 0.03, 0.03, 0.04, 0.05, 0.05, 0.06, 0.07, 0.08, 0.08, 0.09, 0.10, 0.10, 0.11, 0.12,
+        0.13, 0.14, 0.15, 0.16, 0.17, 0.18, 0.19, 0.19, 0.20,
     ];
-    let sizes: Vec<u64> = ops_quanta.iter().map(|q: &f64| (q * 60_000.0) as u64).collect();
+    let sizes: Vec<u64> = ops_quanta
+        .iter()
+        .map(|q: &f64| (q * 60_000.0) as u64)
+        .collect();
     let values: Vec<f64> = sizes.iter().map(|&s| s as f64 / 60_000.0).collect();
     let (_, graham) = graham_greedy(&slots, &sizes, &values);
     // LP-style: knapsack per slot, largest first.
@@ -159,7 +161,10 @@ fn fig8_lp_places_at_least_as_many_builds_as_online() {
     let pending: Vec<BuildOp> = (0..60u32)
         .map(|i| BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i / 4), part: i % 4 },
+            build: BuildRef {
+                index: IndexId(i / 4),
+                part: i % 4,
+            },
             duration: SimDuration::from_secs(5 + (i as u64 * 13) % 26),
             gain: 1.0 + (i as f64 * 0.29) % 4.0,
         })
@@ -177,6 +182,9 @@ fn fig8_lp_places_at_least_as_many_builds_as_online() {
         .map(|s| s.build_assignments().count())
         .max()
         .unwrap();
-    assert!(lp_best >= online_best, "LP {lp_best} < online {online_best}");
+    assert!(
+        lp_best >= online_best,
+        "LP {lp_best} < online {online_best}"
+    );
     assert!(lp_best > 0);
 }

@@ -3,7 +3,7 @@
 //! interleaving → simulation, checking the paper's core invariant at
 //! every step: interleaving never costs the dataflow time or money.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flowtune_cloud::{IndexAvailability, Simulator};
 use flowtune_common::{
@@ -12,15 +12,16 @@ use flowtune_common::{
 use flowtune_core::experiment::ExperimentSetup;
 use flowtune_dataflow::App;
 use flowtune_interleave::{BuildOp, LpInterleaver, OnlineInterleaver};
-use flowtune_sched::{
-    idle_slots, total_fragmentation, BuildRef, SkylineScheduler,
-};
+use flowtune_sched::{idle_slots, total_fragmentation, BuildRef, SkylineScheduler};
 
 fn pending_ops(n: u32) -> Vec<BuildOp> {
     (0..n)
         .map(|i| BuildOp {
             id: BuildOpId(i),
-            build: BuildRef { index: IndexId(i / 3), part: i % 3 },
+            build: BuildRef {
+                index: IndexId(i / 3),
+                part: i % 3,
+            },
             duration: SimDuration::from_secs(3 + (i as u64 * 7) % 20),
             gain: 0.5 + (i as f64 * 0.31) % 3.0,
         })
@@ -58,9 +59,9 @@ fn interleaved_builds_fit_inside_former_idle_slots() {
     let slots_before = idle_slots(&schedule, quantum);
     LpInterleaver::new(quantum).interleave(&mut schedule, &pending_ops(80));
     for b in schedule.build_assignments() {
-        let inside = slots_before.iter().any(|s| {
-            s.container == b.container && b.start >= s.start && b.end <= s.end
-        });
+        let inside = slots_before
+            .iter()
+            .any(|s| s.container == b.container && b.start >= s.start && b.end <= s.end);
         assert!(inside, "build {} escaped the idle slots", b.op);
     }
 }
@@ -83,7 +84,7 @@ fn simulation_of_interleaved_schedule_matches_plan_without_errors() {
             &schedule,
             &[],
             &IndexAvailability::new(),
-            &HashMap::new(),
+            &BTreeMap::new(),
         );
         assert!(
             exec.makespan <= schedule.makespan(),
