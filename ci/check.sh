@@ -19,6 +19,13 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> fault determinism suite"
+cargo test -q --offline -p flowtune-cloud --test fault_determinism
+cargo test -q --offline -p flowtune-core --test fault_recovery
+
+echo "==> exp_fault_matrix --smoke"
+cargo run -q --offline --release -p flowtune-bench --bin exp_fault_matrix -- --smoke
+
 echo "==> flowtune-analyze (workspace invariants)"
 cargo run -q --offline -p flowtune-analyze
 

@@ -20,6 +20,11 @@ fn fixture_findings_match_golden_list() {
         .map(|d| (d.file.clone(), d.line, d.rule))
         .collect();
     let want: Vec<(String, usize, &str)> = [
+        // Ambient entropy in the cloud fixture's fault stream; the
+        // waived SystemTime (line 12) and the #[cfg(test)] env lookup
+        // (line 18) are absent.
+        ("crates/cloud/src/fault.rs", 4, "determinism"),
+        ("crates/cloud/src/fault.rs", 8, "determinism"),
         // Unused dep and dev-dep in the sched fixture manifest.
         ("crates/sched/Cargo.toml", 7, "dep-hygiene"),
         ("crates/sched/Cargo.toml", 10, "dep-hygiene"),
@@ -51,7 +56,7 @@ fn diagnostics_render_as_file_line_rule() {
     let first = diags.first().expect("fixture has findings");
     let rendered = first.to_string();
     assert!(
-        rendered.starts_with("crates/sched/Cargo.toml:7: [dep-hygiene]"),
+        rendered.starts_with("crates/cloud/src/fault.rs:4: [determinism]"),
         "unexpected rendering: {rendered}"
     );
 }

@@ -1,0 +1,20 @@
+//! Fixture `flowtune-cloud`: ambient entropy in the fault stream.
+
+pub fn ambient_fault_seed() -> u64 {
+    rand::thread_rng().next_u64()
+}
+
+pub fn reseeded_fault_stream() -> u64 {
+    rand::rngs::SmallRng::from_entropy().next_u64()
+}
+
+// flowtune-allow(determinism): fixture proof that fault-stream waivers work
+pub const FIXED_EPOCH: std::time::SystemTime = std::time::SystemTime::UNIX_EPOCH;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_lookups_are_test_exempt() {
+        assert!(std::env::var("FLOWTUNE_FAULT_FIXTURE").is_err());
+    }
+}

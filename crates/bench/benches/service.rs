@@ -12,7 +12,10 @@ fn short_run(policy: IndexPolicy, quanta: u64) -> usize {
     config.policy = policy;
     config.workload = WorkloadKind::Random;
     config.max_skyline = 4;
-    QaasService::new(config).run().dataflows_finished
+    QaasService::new(config)
+        .run()
+        .expect("service run failed")
+        .dataflows_finished
 }
 
 fn bench_policies(c: &mut Criterion) {

@@ -43,7 +43,7 @@ fn main() {
         config.policy = IndexPolicy::Gain { delete: true };
         config.workload = WorkloadKind::paper_phases();
         config.adaptive_fading = adaptive;
-        let r = QaasService::new(config).run();
+        let r = QaasService::new(config).run().expect("service run failed");
         rows.push(vec![
             label,
             r.dataflows_finished.to_string(),

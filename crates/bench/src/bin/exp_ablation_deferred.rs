@@ -101,7 +101,7 @@ fn service_sanity(quanta: u64) {
         config.policy = IndexPolicy::Gain { delete: true };
         config.workload = WorkloadKind::paper_phases();
         config.deferred_builds = deferred;
-        let r = QaasService::new(config).run();
+        let r = QaasService::new(config).run().expect("service run failed");
         rows.push(vec![
             label.to_string(),
             r.dataflows_finished.to_string(),

@@ -45,7 +45,7 @@ fn main() {
         config.params.total_quanta = quanta;
         config.policy = policy;
         config.workload = WorkloadKind::paper_phases();
-        let report = QaasService::new(config).run();
+        let report = QaasService::new(config).run().expect("service run failed");
         fig12.push(vec![
             policy.label().to_string(),
             report.dataflows_finished.to_string(),

@@ -21,7 +21,7 @@ fn main() {
     config.policy = IndexPolicy::Gain { delete: true };
     config.workload = WorkloadKind::paper_phases();
     let mut svc = QaasService::new(config);
-    let report = svc.run();
+    let report = svc.run().expect("service run failed");
 
     let mut rows = vec![vec![
         "time (quanta)".to_string(),

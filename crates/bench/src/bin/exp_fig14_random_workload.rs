@@ -35,7 +35,7 @@ fn main() {
         config.params.total_quanta = quanta;
         config.policy = policy;
         config.workload = WorkloadKind::Random;
-        let report = QaasService::new(config).run();
+        let report = QaasService::new(config).run().expect("service run failed");
         rows.push(vec![
             policy.label().to_string(),
             report.dataflows_finished.to_string(),

@@ -53,13 +53,15 @@ fn main() {
                     let mut rng = SimRng::seed_from_u64(seed * 77 + error_pct as u64);
                     let actual = perturb_dag(dag, time_err, data_err, &mut rng);
                     let sim = Simulator::new(setup.params.cloud.clone(), &setup.filedb);
-                    let exec = sim.execute(
-                        &actual,
-                        &schedule,
-                        &[],
-                        &IndexAvailability::new(),
-                        &BTreeMap::new(),
-                    );
+                    let exec = sim
+                        .execute(
+                            &actual,
+                            &schedule,
+                            &[],
+                            &IndexAvailability::new(),
+                            &BTreeMap::new(),
+                        )
+                        .expect("simulation failed");
                     dt.push((exec.makespan.as_secs_f64() - est_time).abs() / est_time * 100.0);
                     let money = exec.compute_cost.as_dollars();
                     dm.push((money - est_money).abs() / est_money * 100.0);

@@ -18,11 +18,18 @@
 //!   from the storage service.
 //!
 //! [`perturb`] injects the runtime/data-size estimation errors of §6.2.
+//!
+//! [`fault`] adds a deterministic fault-injection layer on top: seeded
+//! container revocations, transient storage faults, stragglers and
+//! index-build failures, all drawn from a dedicated [`fault::FaultPlan`]
+//! stream so fault-free runs stay byte-identical.
 
+pub mod fault;
 pub mod perturb;
 pub mod report;
 pub mod sim;
 
+pub use fault::{FaultConfig, FaultInjector, FaultPlan};
 pub use perturb::perturb_dag;
 pub use report::ExecutionReport;
 pub use sim::{IndexAvailability, Simulator};

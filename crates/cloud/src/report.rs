@@ -1,6 +1,6 @@
 //! Execution reports produced by the simulator.
 
-use flowtune_common::{Money, SimDuration, SimTime};
+use flowtune_common::{ContainerId, Money, OpId, SimDuration, SimTime};
 use flowtune_sched::BuildRef;
 
 /// A build operator that finished inside the schedule.
@@ -41,12 +41,42 @@ pub struct ExecutionReport {
     pub accelerated_reads: u64,
     /// Partition reads served by scanning the raw partition.
     pub plain_reads: u64,
+    /// Dataflow operators killed by a container revocation (directly or
+    /// transitively through a killed predecessor). Empty on a fault-free
+    /// run; non-empty means the dataflow did **not** complete.
+    pub killed_ops: Vec<OpId>,
+    /// Containers revoked by the (injected) provider during execution.
+    pub revoked_containers: Vec<ContainerId>,
+    /// Build operators stopped by a container revocation — distinct from
+    /// `killed_builds` (preemption / quantum expiry) for the fault
+    /// accounting.
+    pub fault_killed_builds: Vec<BuildRef>,
+    /// Build operators that ran to completion but produced a corrupt
+    /// partition; the partition must be invalidated, never marked
+    /// available.
+    pub failed_builds: Vec<BuildRef>,
+    /// Transient storage faults (reads reissued against the storage
+    /// service).
+    pub storage_faults: u64,
+    /// Operators whose runtime was inflated by a straggler fault.
+    pub straggler_ops: u64,
+    /// Busy compute time lost to revocations (partially executed
+    /// operators and builds whose work was discarded).
+    pub wasted_compute: SimDuration,
 }
 
 impl ExecutionReport {
-    /// Total build operators attempted (completed + killed).
+    /// Total build operators attempted (completed + killed + failed).
     pub fn build_ops_attempted(&self) -> usize {
-        self.completed_builds.len() + self.killed_builds.len()
+        self.completed_builds.len()
+            + self.killed_builds.len()
+            + self.fault_killed_builds.len()
+            + self.failed_builds.len()
+    }
+
+    /// True when every dataflow operator ran to completion.
+    pub fn completed(&self) -> bool {
+        self.killed_ops.is_empty()
     }
 
     /// Total operators executed (dataflow + attempted builds) — the unit
@@ -78,5 +108,18 @@ mod tests {
         });
         assert_eq!(r.build_ops_attempted(), 2);
         assert_eq!(r.total_ops(), 102);
+        assert!(r.completed());
+        // Fault-killed and failed builds count as attempts too.
+        r.fault_killed_builds.push(BuildRef {
+            index: IndexId(2),
+            part: 0,
+        });
+        r.failed_builds.push(BuildRef {
+            index: IndexId(3),
+            part: 1,
+        });
+        assert_eq!(r.build_ops_attempted(), 4);
+        r.killed_ops.push(flowtune_common::OpId(7));
+        assert!(!r.completed());
     }
 }

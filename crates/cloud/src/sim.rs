@@ -7,16 +7,25 @@
 //! backfill whatever idle time really materialises and are killed by the
 //! next dataflow operator or by lease expiry — they can never delay the
 //! dataflow (priority −1).
+//!
+//! Execution is optionally subjected to a deterministic
+//! [`FaultInjector`] (see [`crate::fault`]): containers can be revoked
+//! mid-quantum (killing the operators on them), storage reads can fail
+//! transiently and be reissued, operators can straggle, and completed
+//! builds can turn out corrupt. An inactive injector is a strict no-op,
+//! so fault-free runs are byte-identical to the pre-fault simulator.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use flowtune_common::{
-    pricing, CloudConfig, ContainerId, IndexId, PartitionId, SimDuration, SimTime,
+    pricing, CloudConfig, ContainerId, FlowtuneError, IndexId, OpId, PartitionId, Result,
+    SimDuration, SimTime,
 };
 use flowtune_dataflow::{Dag, FileDatabase, IndexUse};
 use flowtune_sched::{Assignment, BuildRef, Schedule};
 use flowtune_storage::LruCache;
 
+use crate::fault::FaultInjector;
 use crate::report::{CompletedBuild, ExecutionReport};
 
 /// Which index partitions exist (and their sizes) at execution time.
@@ -45,6 +54,12 @@ impl IndexAvailability {
     /// True when the index partition is built.
     pub fn is_built(&self, index: IndexId, part: u32) -> bool {
         self.built.contains_key(&(index, part))
+    }
+
+    /// Remove a partition (revoked or invalidated by a failed build).
+    /// Returns the recorded size when it was present.
+    pub fn remove(&mut self, index: IndexId, part: u32) -> Option<u64> {
+        self.built.remove(&(index, part))
     }
 
     /// Number of built index partitions.
@@ -82,7 +97,7 @@ impl<'a> Simulator<'a> {
         &self.config
     }
 
-    /// Execute a schedule.
+    /// Execute a schedule without fault injection.
     ///
     /// * `actual` — the DAG with actual runtimes/data sizes (use
     ///   [`crate::perturb_dag`] to derive it from the estimated DAG).
@@ -91,6 +106,9 @@ impl<'a> Simulator<'a> {
     /// * `availability` — which index partitions exist right now.
     /// * `build_durations` — actual build times per build ref (planned
     ///   duration assumed when absent).
+    ///
+    /// Errors with [`FlowtuneError::InvalidSchedule`] when the schedule
+    /// executes an operator before a predecessor it depends on.
     pub fn execute(
         &self,
         actual: &Dag,
@@ -98,7 +116,35 @@ impl<'a> Simulator<'a> {
         index_uses: &[IndexUse],
         availability: &IndexAvailability,
         build_durations: &BTreeMap<BuildRef, SimDuration>,
-    ) -> ExecutionReport {
+    ) -> Result<ExecutionReport> {
+        self.execute_with_faults(
+            actual,
+            schedule,
+            index_uses,
+            availability,
+            build_durations,
+            &mut FaultInjector::none(),
+        )
+    }
+
+    /// Execute a schedule under a fault injector (see [`crate::fault`]).
+    ///
+    /// An inactive injector makes this identical to [`Self::execute`].
+    /// With faults active, operators on a revoked container at or after
+    /// the revocation instant are killed (recorded in
+    /// [`ExecutionReport::killed_ops`], transitively through killed
+    /// predecessors); storage reads may be reissued; runtimes may be
+    /// inflated; completed builds may turn out corrupt
+    /// ([`ExecutionReport::failed_builds`]).
+    pub fn execute_with_faults(
+        &self,
+        actual: &Dag,
+        schedule: &Schedule,
+        index_uses: &[IndexUse],
+        availability: &IndexAvailability,
+        build_durations: &BTreeMap<BuildRef, SimDuration>,
+        faults: &mut FaultInjector,
+    ) -> Result<ExecutionReport> {
         let mut report = ExecutionReport::default();
         let quantum = self.config.quantum;
 
@@ -111,11 +157,34 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        // Revocation instants, drawn upfront per container from the
+        // *planned* activity spans in container order — deterministic
+        // regardless of how actual execution drifts.
+        let mut revocations: BTreeMap<ContainerId, SimTime> = BTreeMap::new();
+        if faults.is_active() {
+            let mut planned_spans: BTreeMap<ContainerId, (SimTime, SimTime)> = BTreeMap::new();
+            for a in schedule.assignments() {
+                let span = planned_spans
+                    .entry(a.container)
+                    .or_insert((SimTime::MAX, SimTime::ZERO));
+                span.0 = span.0.min(a.start);
+                span.1 = span.1.max(a.end);
+            }
+            for (&c, &(s, e)) in &planned_spans {
+                // Pad by one quantum: actual execution drifts past the
+                // plan and a revocation can land in that drift too.
+                if let Some(t) = faults.revocation_in(s, e + quantum) {
+                    revocations.insert(c, t);
+                    report.revoked_containers.push(c);
+                }
+            }
+        }
+
         // Per-container state.
         let mut caches: BTreeMap<ContainerId, LruCache<CacheKey>> = BTreeMap::new();
         let mut container_free: BTreeMap<ContainerId, SimTime> = BTreeMap::new();
-        let mut actual_df: BTreeMap<flowtune_common::OpId, (ContainerId, SimTime, SimTime)> =
-            BTreeMap::new();
+        let mut actual_df: BTreeMap<OpId, (ContainerId, SimTime, SimTime)> = BTreeMap::new();
+        let mut killed: BTreeSet<OpId> = BTreeSet::new();
 
         // Dataflow ops in planned order (valid: planned starts respect
         // both dependency and per-container order).
@@ -124,6 +193,12 @@ impl<'a> Simulator<'a> {
         df_assignments.sort_by_key(|a| (a.start, a.end, a.op));
 
         for a in &df_assignments {
+            // An operator downstream of a killed one can never run.
+            if actual.preds(a.op).iter().any(|p| killed.contains(p)) {
+                killed.insert(a.op);
+                report.killed_ops.push(a.op);
+                continue;
+            }
             let op = actual.op(a.op);
             let cache = caches
                 .entry(a.container)
@@ -131,10 +206,12 @@ impl<'a> Simulator<'a> {
             // Dependency readiness with cross-container transfer.
             let mut ready = SimTime::ZERO;
             for &p in actual.preds(a.op) {
-                let &(pc, _, pend) = actual_df
-                    .get(&p)
-                    // flowtune-allow(panic-hygiene): Schedule::validate guarantees predecessors precede successors in planned order
-                    .expect("planned order must process predecessors first");
+                let &(pc, _, pend) = actual_df.get(&p).ok_or_else(|| {
+                    FlowtuneError::invalid_schedule(format!(
+                        "{} is scheduled before its predecessor {}",
+                        a.op, p
+                    ))
+                })?;
                 let mut t = pend;
                 if pc != a.container {
                     t += self.config.network_transfer(actual.edge_bytes(p, a.op));
@@ -146,6 +223,13 @@ impl<'a> Simulator<'a> {
                 .copied()
                 .unwrap_or(SimTime::ZERO);
             let start = ready.max(free);
+            let revoke_at = revocations.get(&a.container).copied();
+            if revoke_at.is_some_and(|t| start >= t) {
+                // The container is gone before the operator can start.
+                killed.insert(a.op);
+                report.killed_ops.push(a.op);
+                continue;
+            }
             // Input transfers and index acceleration.
             let mut transfer_in = SimDuration::ZERO;
             let mut inv_speed_sum = 0.0f64;
@@ -166,8 +250,15 @@ impl<'a> Simulator<'a> {
                             report.cache_hits += 1;
                         } else {
                             report.cache_misses += 1;
-                            report.bytes_from_storage += idx_bytes;
-                            transfer_in += self.config.network_transfer(idx_bytes);
+                            // A transient storage fault forces the read
+                            // to be reissued, paying the transfer again.
+                            let issues = 1 + faults.storage_retries() as u64;
+                            report.storage_faults += issues - 1;
+                            report.bytes_from_storage += idx_bytes * issues;
+                            transfer_in += self
+                                .config
+                                .network_transfer(idx_bytes)
+                                .mul_f64(issues as f64);
                             cache.insert(ikey, idx_bytes);
                         }
                     }
@@ -178,19 +269,37 @@ impl<'a> Simulator<'a> {
                             report.cache_hits += 1;
                         } else {
                             report.cache_misses += 1;
-                            report.bytes_from_storage += bytes;
-                            transfer_in += self.config.network_transfer(bytes);
+                            let issues = 1 + faults.storage_retries() as u64;
+                            report.storage_faults += issues - 1;
+                            report.bytes_from_storage += bytes * issues;
+                            transfer_in +=
+                                self.config.network_transfer(bytes).mul_f64(issues as f64);
                             cache.insert(key, bytes);
                         }
                     }
                 }
             }
-            let eff_runtime = if op.reads.is_empty() {
+            let mut eff_runtime = if op.reads.is_empty() {
                 op.runtime
             } else {
                 op.runtime.mul_f64(inv_speed_sum / op.reads.len() as f64)
             };
+            let straggle = faults.straggler_factor();
+            if straggle > 1.0 {
+                report.straggler_ops += 1;
+                eff_runtime = eff_runtime.mul_f64(straggle);
+            }
             let end = start + transfer_in + eff_runtime;
+            if let Some(t) = revoke_at {
+                if end > t {
+                    // Started before the revocation, died mid-flight:
+                    // the partial work is wasted.
+                    report.wasted_compute += t - start;
+                    killed.insert(a.op);
+                    report.killed_ops.push(a.op);
+                    continue;
+                }
+            }
             container_free.insert(a.container, end);
             actual_df.insert(a.op, (a.container, start, end));
             report.dataflow_ops += 1;
@@ -231,14 +340,19 @@ impl<'a> Simulator<'a> {
             per_container.entry(a.container).or_default().push(*a);
         }
         for (c, mut assignments) in per_container {
+            let revoke_at = revocations.get(&c).copied().unwrap_or(SimTime::MAX);
             let Some(&(lease_start, lease_end)) = leases.get(&c) else {
-                // Container has no dataflow ops -> never leased; any
-                // planned builds there are killed outright.
-                for a in assignments.iter().filter(|a| a.is_optional()) {
-                    report
-                        .killed_builds
-                        // flowtune-allow(panic-hygiene): is_optional() is defined as build.is_some()
-                        .push(a.build.expect("optional has build"));
+                // Container ran no dataflow op (never leased, or revoked
+                // before anything survived): planned builds there never
+                // run.
+                for a in assignments.iter() {
+                    if let Some(build) = a.build {
+                        if revoke_at == SimTime::MAX {
+                            report.killed_builds.push(build);
+                        } else {
+                            report.fault_killed_builds.push(build);
+                        }
+                    }
                 }
                 continue;
             };
@@ -247,36 +361,64 @@ impl<'a> Simulator<'a> {
             for (i, a) in assignments.iter().enumerate() {
                 match a.build {
                     None => {
-                        // flowtune-allow(panic-hygiene): every dataflow assignment was executed in the first pass above
-                        let &(_, _, e) = actual_df.get(&a.op).expect("df op executed");
-                        cursor = cursor.max(e);
+                        match actual_df.get(&a.op) {
+                            Some(&(_, _, e)) => cursor = cursor.max(e),
+                            // A killed operator never arrived; it
+                            // occupies no time on the container.
+                            None if killed.contains(&a.op) => {}
+                            None => {
+                                return Err(FlowtuneError::invalid_schedule(format!(
+                                    "assignment for {} references an operator the \
+                                     dataflow pass never executed",
+                                    a.op
+                                )))
+                            }
+                        }
                     }
                     Some(build) => {
+                        if cursor >= revoke_at {
+                            // The container is gone; the build never
+                            // starts.
+                            report.fault_killed_builds.push(build);
+                            continue;
+                        }
                         // Window: from the cursor to the next dataflow
                         // op's actual start (preemption) or lease expiry.
                         let next_df_start = assignments[i + 1..]
                             .iter()
                             .filter(|b| !b.is_optional())
-                            // flowtune-allow(panic-hygiene): every dataflow assignment was executed in the first pass above
-                            .map(|b| actual_df.get(&b.op).expect("df op executed").1)
+                            .filter_map(|b| actual_df.get(&b.op))
+                            .map(|&(_, s, _)| s)
                             .next()
                             .unwrap_or(lease_end)
                             .min(lease_end);
                         let start = cursor;
                         let dur = build_durations.get(&build).copied().unwrap_or(a.duration());
                         let end = start + dur;
-                        if end <= next_df_start && start < lease_end {
-                            report.completed_builds.push(CompletedBuild {
-                                build,
-                                finished_at: end,
-                            });
+                        if end <= next_df_start && start < lease_end && end <= revoke_at {
+                            // Ran to completion — though the artifact may
+                            // still turn out corrupt.
+                            if faults.build_failure() {
+                                report.failed_builds.push(build);
+                            } else {
+                                report.completed_builds.push(CompletedBuild {
+                                    build,
+                                    finished_at: end,
+                                });
+                            }
                             *busy.entry(c).or_insert(SimDuration::ZERO) += dur;
                             cursor = end;
                         } else {
-                            report.killed_builds.push(build);
-                            let stopped = next_df_start.max(start);
-                            *busy.entry(c).or_insert(SimDuration::ZERO) +=
-                                stopped - start.min(stopped);
+                            // Stopped early: by revocation, by the next
+                            // dataflow op, or by lease expiry.
+                            let stopped = next_df_start.min(revoke_at).max(start);
+                            if revoke_at < end && revoke_at <= next_df_start {
+                                report.fault_killed_builds.push(build);
+                                report.wasted_compute += stopped - start;
+                            } else {
+                                report.killed_builds.push(build);
+                            }
+                            *busy.entry(c).or_insert(SimDuration::ZERO) += stopped - start;
                             cursor = stopped;
                         }
                     }
@@ -289,7 +431,7 @@ impl<'a> Simulator<'a> {
             let b = busy.get(&c).copied().unwrap_or(SimDuration::ZERO);
             report.fragmentation += (le - ls).saturating_sub(b);
         }
-        report
+        Ok(report)
     }
 }
 
@@ -380,13 +522,15 @@ mod tests {
         let db = filedb();
         let sim = Simulator::new(cfg(), &db);
         let (dag, schedule) = stalled_with_build(20);
-        let r = sim.execute(
-            &dag,
-            &schedule,
-            &[],
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let r = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         assert_eq!(r.completed_builds.len(), 1);
         assert!(r.killed_builds.is_empty());
         assert_eq!(r.dataflow_ops, 3);
@@ -408,7 +552,9 @@ mod tests {
             },
             SimDuration::from_secs(35),
         )]);
-        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
+        let r = sim
+            .execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations)
+            .unwrap();
         assert!(r.completed_builds.is_empty());
         assert_eq!(r.killed_builds.len(), 1);
         // The dataflow itself is unaffected by the kill.
@@ -453,7 +599,9 @@ mod tests {
             },
             SimDuration::from_secs(55),
         )]);
-        let r = sim.execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations);
+        let r = sim
+            .execute(&dag, &schedule, &[], &IndexAvailability::new(), &durations)
+            .unwrap();
         assert!(r.completed_builds.is_empty());
         assert_eq!(r.killed_builds.len(), 1);
         assert_eq!(r.leased_quanta, 1);
@@ -464,13 +612,15 @@ mod tests {
         let db = filedb();
         let sim = Simulator::new(cfg(), &db);
         let (dag, schedule) = stalled_with_build(5);
-        let r = sim.execute(
-            &dag,
-            &schedule,
-            &[],
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let r = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         // Actual: a [0,10) c0, x [0,40) c1, b [40,50) c0.
         assert_eq!(r.makespan, SimDuration::from_secs(50));
         assert_eq!(r.leased_quanta, 2);
@@ -489,13 +639,15 @@ mod tests {
         let schedule = scheduler.schedule(&df.dag).remove(0);
 
         // No indexes.
-        let none = sim.execute(
-            &df.dag,
-            &schedule,
-            &df.index_uses,
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let none = sim
+            .execute(
+                &df.dag,
+                &schedule,
+                &df.index_uses,
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         // All of this dataflow's indexes fully built.
         let mut avail = IndexAvailability::new();
         for u in &df.index_uses {
@@ -504,7 +656,9 @@ mod tests {
                 avail.add(u.index, p.id.part, p.bytes / 8);
             }
         }
-        let with = sim.execute(&df.dag, &schedule, &df.index_uses, &avail, &BTreeMap::new());
+        let with = sim
+            .execute(&df.dag, &schedule, &df.index_uses, &avail, &BTreeMap::new())
+            .unwrap();
         assert!(
             with.makespan < none.makespan,
             "indexes must speed up execution: {} vs {}",
@@ -549,15 +703,212 @@ mod tests {
             },
         ]);
         let sim = Simulator::new(cfg(), &db);
-        let r = sim.execute(
-            &dag,
-            &schedule,
-            &[],
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let r = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         assert_eq!(r.cache_hits, 1);
         assert_eq!(r.cache_misses, 1);
+    }
+
+    #[test]
+    fn availability_remove_supports_invalidate_and_rebuild() {
+        let mut avail = IndexAvailability::new();
+        // build -> fail -> invalidate -> rebuild lifecycle.
+        avail.add(IndexId(4), 2, 1024);
+        assert!(avail.is_built(IndexId(4), 2));
+        assert_eq!(avail.remove(IndexId(4), 2), Some(1024));
+        assert!(!avail.is_built(IndexId(4), 2));
+        assert_eq!(avail.bytes(IndexId(4), 2), None);
+        assert_eq!(avail.remove(IndexId(4), 2), None, "already invalidated");
+        assert!(avail.is_empty());
+        avail.add(IndexId(4), 2, 2048);
+        assert_eq!(avail.bytes(IndexId(4), 2), Some(2048));
+        assert_eq!(avail.len(), 1);
+    }
+
+    /// An always-firing injector whose revocation lands inside c0's
+    /// span kills ops there (directly or transitively) while c1's
+    /// operator can still finish.
+    #[test]
+    fn revocation_kills_ops_and_is_accounted() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let config = FaultConfig {
+            rate: 1.0,
+            revocation_share: 1.0,
+            storage_share: 0.0,
+            straggler_share: 0.0,
+            build_failure_share: 0.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let r = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        // Both containers are revoked at rate 1.0; every op is either
+        // executed or killed, and every build is accounted somewhere.
+        assert_eq!(r.revoked_containers.len(), 2);
+        assert_eq!(r.dataflow_ops + r.killed_ops.len(), dag.len());
+        assert!(!r.killed_ops.is_empty(), "rate-1.0 revocation killed no op");
+        assert!(!r.completed());
+        assert_eq!(
+            r.build_ops_attempted(),
+            schedule.build_assignments().count()
+        );
+    }
+
+    #[test]
+    fn build_failure_is_reported_not_completed() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let config = FaultConfig {
+            rate: 1.0,
+            revocation_share: 0.0,
+            storage_share: 0.0,
+            straggler_share: 0.0,
+            build_failure_share: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let r = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        // The build runs to completion in the gap but the artifact is
+        // corrupt: reported as failed, never as completed.
+        assert!(r.completed_builds.is_empty());
+        assert_eq!(r.failed_builds.len(), 1);
+        assert!(r.completed(), "build failure must not kill the dataflow");
+        assert_eq!(r.makespan, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn stragglers_inflate_the_makespan() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let config = FaultConfig {
+            rate: 1.0,
+            revocation_share: 0.0,
+            storage_share: 0.0,
+            straggler_share: 1.0,
+            build_failure_share: 0.0,
+            straggler_factor: 2.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let r = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        // Everything straggles ×2: a 0-10/0-40/40-50 plan becomes
+        // 0-20/0-80/80-100.
+        assert_eq!(r.straggler_ops, 3);
+        assert_eq!(r.makespan, SimDuration::from_secs(100));
+        assert!(r.completed());
+    }
+
+    #[test]
+    fn inactive_injector_matches_plain_execute() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let plain = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
+        let mut inj = crate::fault::FaultInjector::none();
+        let with = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{with:?}"));
+    }
+
+    #[test]
+    fn out_of_order_schedule_is_a_typed_error() {
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let dag = Dag::new(
+            vec![
+                OpSpec::new(OpId(0), "a", SimDuration::from_secs(10)),
+                OpSpec::new(OpId(1), "b", SimDuration::from_secs(10)),
+            ],
+            vec![Edge {
+                from: OpId(0),
+                to: OpId(1),
+                bytes: 0,
+            }],
+        )
+        .unwrap();
+        // The successor is planned *before* its predecessor.
+        let schedule = Schedule::from_assignments(vec![
+            Assignment {
+                op: OpId(1),
+                container: ContainerId(0),
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(10),
+                build: None,
+            },
+            Assignment {
+                op: OpId(0),
+                container: ContainerId(0),
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+                build: None,
+            },
+        ]);
+        let err = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("predecessor"), "{err}");
     }
 
     #[test]
@@ -582,13 +933,15 @@ mod tests {
             .collect();
         LpInterleaver::new(Q).interleave(&mut schedule, &pending);
         let sim = Simulator::new(cfg(), db);
-        let r = sim.execute(
-            &df.dag,
-            &schedule,
-            &df.index_uses,
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let r = sim
+            .execute(
+                &df.dag,
+                &schedule,
+                &df.index_uses,
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         assert_eq!(r.dataflow_ops, df.dag.len());
         assert!(r.makespan > SimDuration::ZERO);
         assert!(r.leased_quanta > 0);

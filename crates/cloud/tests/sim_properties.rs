@@ -54,13 +54,15 @@ fn conservation_laws_hold_under_perturbation() {
         LpInterleaver::new(Q).interleave(&mut schedule, &pending(30));
         let actual = perturb_dag(&df.dag, time_err, data_err, &mut rng);
         let sim = Simulator::new(CloudConfig::default(), &db);
-        let report = sim.execute(
-            &actual,
-            &schedule,
-            &df.index_uses,
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let report = sim
+            .execute(
+                &actual,
+                &schedule,
+                &df.index_uses,
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         // Every dataflow operator ran exactly once.
         assert_eq!(report.dataflow_ops, df.dag.len());
         // Every scheduled build either completed or was killed.
@@ -97,20 +99,24 @@ fn full_index_availability_never_slows_execution() {
         });
         let schedule = scheduler.schedule(&df.dag).remove(0);
         let sim = Simulator::new(CloudConfig::default(), &db);
-        let none = sim.execute(
-            &df.dag,
-            &schedule,
-            &df.index_uses,
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let none = sim
+            .execute(
+                &df.dag,
+                &schedule,
+                &df.index_uses,
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         let mut avail = IndexAvailability::new();
         for u in &df.index_uses {
             for p in &db.file(u.file).partitions {
                 avail.add(u.index, p.id.part, p.bytes / 8);
             }
         }
-        let full = sim.execute(&df.dag, &schedule, &df.index_uses, &avail, &BTreeMap::new());
+        let full = sim
+            .execute(&df.dag, &schedule, &df.index_uses, &avail, &BTreeMap::new())
+            .unwrap();
         assert!(
             full.makespan <= none.makespan,
             "indexes slowed execution: {} -> {}",
@@ -143,6 +149,7 @@ fn zero_perturbation_is_deterministic() {
                 &IndexAvailability::new(),
                 &BTreeMap::new(),
             )
+            .unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.makespan, b.makespan);

@@ -8,7 +8,9 @@
 
 use std::process::ExitCode;
 
-use flowtune_core::{IndexPolicy, InterleaverKind, QaasService, SchedulerKind, ServiceConfig};
+use flowtune_core::{
+    IndexPolicy, InterleaverKind, QaasService, RecoveryPolicyKind, SchedulerKind, ServiceConfig,
+};
 use flowtune_dataflow::WorkloadKind;
 
 const HELP: &str = "\
@@ -31,6 +33,10 @@ OPTIONS:
     --error <F>        runtime/data estimation error fraction      [0]
     --adaptive         learn a fading controller per index
     --deferred         enable deferred batch builds
+    --fault-rate <F>   master fault rate in [0,1] (0 = no faults)     [0]
+    --fault-seed <N>   seed of the dedicated fault stream             [default]
+    --recovery-policy <R>
+                       no-retry | retry | retry-gain-penalty          [retry]
     --csv              also print per-dataflow records as CSV
     --help             show this help
 ";
@@ -115,6 +121,20 @@ fn parse_args() -> Result<(ServiceConfig, bool), String> {
             }
             "--adaptive" => config.adaptive_fading = true,
             "--deferred" => config.deferred_builds = true,
+            "--fault-rate" => {
+                config.faults.rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?
+            }
+            "--fault-seed" => {
+                config.faults.seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--recovery-policy" => {
+                config.recovery.policy = RecoveryPolicyKind::parse(&value("--recovery-policy")?)
+                    .map_err(|e| e.to_string())?
+            }
             "--csv" => csv = true,
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -137,8 +157,15 @@ fn main() -> ExitCode {
     };
     let policy = config.policy;
     let quanta = config.params.total_quanta;
+    let faulted = config.faults.is_active();
     eprintln!("running {} for {} quanta...", policy.label(), quanta);
-    let report = QaasService::new(config).run();
+    let report = match QaasService::new(config).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("policy:              {}", policy.label());
     println!("dataflows issued:    {}", report.dataflows_issued);
@@ -157,6 +184,29 @@ fn main() -> ExitCode {
         report.killed_percentage()
     );
     println!("indexes deleted:     {}", report.indexes_deleted);
+    if faulted {
+        println!("dataflows failed:    {}", report.dataflows_failed);
+        println!("containers revoked:  {}", report.containers_revoked);
+        println!("ops killed by fault: {}", report.ops_killed_by_fault);
+        println!("storage faults:      {}", report.storage_faults);
+        println!("straggler ops:       {}", report.straggler_ops);
+        println!(
+            "builds failed:       {} (+{} killed by revocation)",
+            report.builds_failed, report.builds_killed_by_fault
+        );
+        println!("retries:             {}", report.retries);
+        println!(
+            "wasted:              {:.2} quanta / {}",
+            report.wasted_compute_quanta.get(),
+            report.wasted_cost
+        );
+        println!(
+            "recovery latency:    p50 {:.2} / p95 {:.2} / p100 {:.2} quanta",
+            report.recovery_latency_percentile(50.0),
+            report.recovery_latency_percentile(95.0),
+            report.recovery_latency_percentile(100.0)
+        );
+    }
     if csv {
         println!();
         println!("app,issued_quanta,makespan_quanta,indexed_fraction");

@@ -18,16 +18,18 @@
 //! config.params.total_quanta = 40; // short demo horizon
 //! config.workload = WorkloadKind::Random;
 //! config.policy = IndexPolicy::Gain { delete: true };
-//! let report = QaasService::new(config).run();
+//! let report = QaasService::new(config).run().expect("run failed");
 //! assert!(report.dataflows_issued > 0);
 //! ```
 
 pub mod experiment;
 pub mod policy;
+pub mod recovery;
 pub mod report;
 pub mod service;
 pub mod tablefmt;
 
 pub use policy::{IndexPolicy, InterleaverKind, SchedulerKind};
+pub use recovery::{remnant_dag, RecoveryConfig, RecoveryPolicyKind};
 pub use report::{paired_objective, DataflowRecord, RunReport, TimelinePoint};
 pub use service::{QaasService, ServiceConfig};

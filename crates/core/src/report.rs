@@ -56,6 +56,34 @@ pub struct RunReport {
     pub builds_killed: usize,
     /// Indexes deleted by the tuner.
     pub indexes_deleted: usize,
+    /// Dataflows abandoned after exhausting the recovery policy (0 on a
+    /// fault-free run).
+    pub dataflows_failed: usize,
+    /// Dataflow operators killed by container revocations — distinct
+    /// from `builds_killed`, which counts quantum-expiry/preemption
+    /// kills of build operators.
+    pub ops_killed_by_fault: usize,
+    /// Containers revoked by the injected provider.
+    pub containers_revoked: usize,
+    /// Transient storage faults (reads reissued).
+    pub storage_faults: u64,
+    /// Operators whose runtime was inflated by a straggler fault.
+    pub straggler_ops: u64,
+    /// Builds that completed but produced a corrupt partition
+    /// (invalidated, never marked available).
+    pub builds_failed: usize,
+    /// Builds stopped mid-flight by a container revocation.
+    pub builds_killed_by_fault: usize,
+    /// Re-execution attempts across all dataflows.
+    pub retries: usize,
+    /// Compute time lost to faults (partial work discarded), in quanta.
+    pub wasted_compute_quanta: Quanta,
+    /// Money spent on quanta whose work was discarded (wasted leases of
+    /// failed attempts and abandoned dataflows).
+    pub wasted_cost: Money,
+    /// Extra latency each *recovered* dataflow paid versus its first
+    /// attempt finishing cleanly (backoff + re-execution), in quanta.
+    pub recovery_latency_quanta: Vec<f64>,
     /// Service-state samples over time (one per executed dataflow).
     pub timeline: Vec<TimelinePoint>,
     /// Per-dataflow records, in execution order.
@@ -98,6 +126,18 @@ impl RunReport {
         } else {
             self.total_makespan_quanta * (1.0 / self.dataflows_finished as f64)
         }
+    }
+
+    /// Recovery-latency percentile (`p` in `[0, 100]`, nearest-rank) in
+    /// quanta; 0 when no dataflow needed recovery.
+    pub fn recovery_latency_percentile(&self, p: f64) -> f64 {
+        if self.recovery_latency_quanta.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.recovery_latency_quanta.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 }
 
@@ -152,13 +192,23 @@ mod tests {
             builds_completed: 150,
             builds_killed: 50,
             indexes_deleted: 3,
-            timeline: vec![],
-            per_dataflow: vec![],
+            ..Default::default()
         };
         assert_eq!(r.total_ops(), 1000);
         assert!((r.killed_percentage() - 5.0).abs() < 1e-9);
         assert!((r.cost_per_dataflow() - 0.6).abs() < 1e-9);
         assert!((r.avg_makespan_quanta().get() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_latency_percentiles_are_nearest_rank() {
+        let mut r = RunReport::default();
+        assert_eq!(r.recovery_latency_percentile(99.0), 0.0);
+        r.recovery_latency_quanta = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(r.recovery_latency_percentile(0.0), 1.0);
+        assert_eq!(r.recovery_latency_percentile(50.0), 2.0);
+        assert_eq!(r.recovery_latency_percentile(75.0), 3.0);
+        assert_eq!(r.recovery_latency_percentile(100.0), 4.0);
     }
 
     #[test]

@@ -7,10 +7,14 @@
 
 use std::collections::BTreeMap;
 
-use flowtune_cloud::{perturb_dag, IndexAvailability, Simulator};
-use flowtune_common::{BuildOpId, DataflowId, ExperimentParams, Quanta, SimRng, SimTime};
+use flowtune_cloud::{
+    perturb_dag, ExecutionReport, FaultConfig, FaultPlan, IndexAvailability, Simulator,
+};
+use flowtune_common::{
+    BuildOpId, DataflowId, ExperimentParams, Quanta, Result, SimDuration, SimRng, SimTime,
+};
 use flowtune_dataflow::{
-    filedb::ROW_BYTES, ArrivalClient, Dataflow, DataflowFactory, FileDatabase, WorkloadKind,
+    filedb::ROW_BYTES, ArrivalClient, Dag, Dataflow, DataflowFactory, FileDatabase, WorkloadKind,
 };
 use flowtune_index::{IndexCatalog, IndexCostModel, IndexKind, IndexSpec};
 use flowtune_interleave::{BuildOp, DeferredBuildQueue, LpInterleaver, OnlineInterleaver};
@@ -21,6 +25,7 @@ use flowtune_storage::{ObjectKey, StorageService};
 use flowtune_tuner::{dataflow_index_gains, GainModel, HistoryEntry, OnlineTuner};
 
 use crate::policy::{IndexPolicy, InterleaverKind, SchedulerKind};
+use crate::recovery::{remnant_dag, RecoveryConfig};
 use crate::report::{RunReport, TimelinePoint};
 
 /// Full service configuration.
@@ -56,6 +61,12 @@ pub struct ServiceConfig {
     /// batches once their accumulated gain covers the dedicated lease
     /// (the paper's §7 "delayed building" future work).
     pub deferred_builds: bool,
+    /// Fault model injected at execution (rate 0 = the fault-free
+    /// simulator, byte-identical to a run without the layer).
+    pub faults: FaultConfig,
+    /// What the service does with dataflows whose operators were
+    /// killed.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +83,8 @@ impl Default for ServiceConfig {
             concurrency: 4,
             adaptive_fading: false,
             deferred_builds: false,
+            faults: FaultConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -137,7 +150,15 @@ impl QaasService {
     }
 
     /// Run the service until the horizon (Table 3: 720 quanta).
-    pub fn run(&mut self) -> RunReport {
+    ///
+    /// Errors when the fault/recovery configuration is invalid or a
+    /// planned schedule turns out inconsistent — both non-recoverable
+    /// configuration/logic faults, as opposed to the *injected* cloud
+    /// faults, which are handled by the recovery policy.
+    pub fn run(&mut self) -> Result<RunReport> {
+        self.config.faults.validate()?;
+        self.config.recovery.validate()?;
+        let fault_plan = FaultPlan::new(self.config.faults.clone());
         let params = self.config.params.clone();
         let cloud = params.cloud.clone();
         let horizon = SimTime::ZERO + params.horizon();
@@ -168,6 +189,7 @@ impl QaasService {
                 break;
             }
             report.dataflows_issued += 1;
+            let df_seq = next_id;
             let df = self.factory.make(DataflowId(next_id), app, issued);
             next_id += 1;
 
@@ -244,17 +266,62 @@ impl QaasService {
             // dataflow was issued are visible to it (lanes execute
             // logically in parallel but are processed in issue order).
             let availability = self.availability_at(issued);
+            let sim = Simulator::new(cloud.clone(), &self.filedb);
             let exec = {
-                let sim = Simulator::new(cloud.clone(), &self.filedb);
-                sim.execute(
+                let mut injector = fault_plan.injector(df_seq, 0);
+                sim.execute_with_faults(
                     &actual,
                     &schedule,
                     &df.index_uses,
                     &availability,
                     &BTreeMap::new(),
-                )
+                    &mut injector,
+                )?
             };
-            let finish = issued + exec.makespan;
+            absorb_fault_stats(&mut report, &exec, cloud.quantum);
+
+            // --- Recovery: re-schedule killed operators onto fresh
+            // containers with capped exponential backoff (sim time). ---
+            let mut df_completed = exec.completed();
+            let mut recovery_delay = SimDuration::ZERO;
+            let mut attempt = 0u32;
+            let mut remnant_src = actual.clone();
+            let mut killed_ops = exec.killed_ops.clone();
+            while !df_completed {
+                if !self.config.recovery.policy.retries()
+                    || attempt >= self.config.recovery.max_retries
+                {
+                    report.dataflows_failed += 1;
+                    break;
+                }
+                attempt += 1;
+                report.retries += 1;
+                let (remnant, _original) = remnant_dag(&remnant_src, &killed_ops)?;
+                let retry_schedule = self.schedule_remnant(&remnant);
+                let mut injector = fault_plan.injector(df_seq, attempt);
+                let retry = sim.execute_with_faults(
+                    &remnant,
+                    &retry_schedule,
+                    &df.index_uses,
+                    &availability,
+                    &BTreeMap::new(),
+                    &mut injector,
+                )?;
+                absorb_fault_stats(&mut report, &retry, cloud.quantum);
+                report.compute_cost += retry.compute_cost;
+                report.dataflow_ops += retry.dataflow_ops;
+                recovery_delay += self.config.recovery.backoff_delay(attempt) + retry.makespan;
+                df_completed = retry.completed();
+                killed_ops = retry.killed_ops.clone();
+                remnant_src = remnant;
+            }
+            if df_completed && attempt > 0 {
+                report
+                    .recovery_latency_quanta
+                    .push(recovery_delay.quanta(cloud.quantum).get());
+            }
+            let total_makespan = exec.makespan + recovery_delay;
+            let finish = issued + total_makespan;
 
             // --- Commit completed builds; killed ones stay pending via
             // the catalog (they are re-derived next round). ---
@@ -279,12 +346,44 @@ impl QaasService {
                 }
             }
 
+            // --- Failed builds: invalidate the corrupt partition so it
+            // is never marked available and can be re-attempted. ---
+            for b in &exec.failed_builds {
+                let part = b.part as usize;
+                if self.catalog.unmark_built(b.index, part) {
+                    let at = finish.max(self.last_settle).min(horizon);
+                    self.storage
+                        .delete(&ObjectKey::IndexPart(b.index, b.part), at);
+                }
+            }
+
             // --- History (Hd). ---
-            self.tuner.history.record(HistoryEntry {
-                dataflow: df.id,
-                finished_at: finish,
-                index_gains: gains.clone(),
-            });
+            if df_completed {
+                self.tuner.history.record(HistoryEntry {
+                    dataflow: df.id,
+                    finished_at: finish,
+                    index_gains: gains.clone(),
+                });
+            }
+            // Graceful tuner degradation: builds the cloud destroyed or
+            // corrupted feed *negative* evidence into the gain history,
+            // so the same index is not immediately re-attempted.
+            if self.config.recovery.policy.penalises_gain() {
+                let penalty = self.config.recovery.gain_penalty;
+                let mut negative: BTreeMap<flowtune_common::IndexId, (f64, f64)> = BTreeMap::new();
+                for b in exec.failed_builds.iter().chain(&exec.fault_killed_builds) {
+                    let e = negative.entry(b.index).or_insert((0.0, 0.0));
+                    e.0 -= penalty;
+                    e.1 -= penalty;
+                }
+                if !negative.is_empty() {
+                    self.tuner.history.record(HistoryEntry {
+                        dataflow: df.id,
+                        finished_at: finish,
+                        index_gains: negative,
+                    });
+                }
+            }
             self.tuner.history.prune(
                 finish,
                 cloud
@@ -297,9 +396,9 @@ impl QaasService {
             report.dataflow_ops += exec.dataflow_ops;
             report.builds_completed += exec.completed_builds.len();
             report.builds_killed += exec.killed_builds.len();
-            if finish <= horizon {
+            if df_completed && finish <= horizon {
                 report.dataflows_finished += 1;
-                report.total_makespan_quanta += exec.makespan.quanta(cloud.quantum);
+                report.total_makespan_quanta += total_makespan.quanta(cloud.quantum);
             }
             self.last_settle = settled_to.min(horizon);
             self.storage.settle(self.last_settle);
@@ -312,7 +411,7 @@ impl QaasService {
             report.per_dataflow.push(crate::report::DataflowRecord {
                 app: df.app.name(),
                 issued_quanta: issued.quanta(cloud.quantum),
-                makespan_quanta: exec.makespan.quanta(cloud.quantum),
+                makespan_quanta: total_makespan.quanta(cloud.quantum),
                 cost_quanta: Quanta::new(exec.leased_quanta as f64),
                 indexed_fraction: indexed,
             });
@@ -360,7 +459,22 @@ impl QaasService {
         }
         self.storage.settle(horizon);
         report.index_storage_cost = self.storage.accrued_cost();
-        report
+        Ok(report)
+    }
+
+    /// Re-schedule the remnant of a killed dataflow onto fresh
+    /// containers via the skyline scheduler (no builds are interleaved
+    /// into retries: recovery capacity is not donated to the tuner).
+    fn schedule_remnant(&self, remnant: &Dag) -> Schedule {
+        let cloud = &self.config.params.cloud;
+        let scheduler = SkylineScheduler::new(SchedulerConfig {
+            max_containers: cloud.max_containers,
+            max_skyline: self.config.max_skyline,
+            quantum: cloud.quantum,
+            vm_price: cloud.vm_price_per_quantum,
+            network_bandwidth: cloud.network_bandwidth,
+        });
+        scheduler.schedule(remnant).remove(0)
     }
 
     /// Plan one dataflow: schedule, pick the fastest, interleave.
@@ -465,6 +579,24 @@ impl QaasService {
     }
 }
 
+/// Fold one execution attempt's fault counters into the run report.
+/// All increments are zero on a fault-free execution, so rate-0 runs
+/// are unaffected.
+fn absorb_fault_stats(report: &mut RunReport, exec: &ExecutionReport, quantum: SimDuration) {
+    report.ops_killed_by_fault += exec.killed_ops.len();
+    report.containers_revoked += exec.revoked_containers.len();
+    report.storage_faults += exec.storage_faults;
+    report.straggler_ops += exec.straggler_ops;
+    report.builds_failed += exec.failed_builds.len();
+    report.builds_killed_by_fault += exec.fault_killed_builds.len();
+    report.wasted_compute_quanta += exec.wasted_compute.quanta(quantum);
+    if !exec.completed() {
+        // Every quantum leased by an attempt that did not complete is
+        // money spent on discarded work.
+        report.wasted_cost += exec.compute_cost;
+    }
+}
+
 /// Register every potential index of the file database, preserving ids.
 pub fn build_catalog(filedb: &FileDatabase) -> IndexCatalog {
     let mut catalog = IndexCatalog::new();
@@ -504,7 +636,7 @@ mod tests {
     #[test]
     fn no_index_policy_builds_nothing() {
         let mut svc = QaasService::new(short_config(IndexPolicy::NoIndex));
-        let r = svc.run();
+        let r = svc.run().expect("service run failed");
         assert!(r.dataflows_finished > 0);
         assert_eq!(r.builds_completed, 0);
         assert_eq!(r.builds_killed, 0);
@@ -514,7 +646,7 @@ mod tests {
     #[test]
     fn gain_policy_builds_indexes_and_accrues_storage() {
         let mut svc = QaasService::new(short_config(IndexPolicy::Gain { delete: true }));
-        let r = svc.run();
+        let r = svc.run().expect("service run failed");
         assert!(r.dataflows_finished > 0);
         assert!(r.builds_completed > 0, "gain policy never built an index");
         assert!(r.index_storage_cost > flowtune_common::Money::ZERO);
@@ -526,9 +658,9 @@ mod tests {
     #[test]
     fn indexes_reduce_execution_time_versus_no_index() {
         let mut no_index = QaasService::new(short_config(IndexPolicy::NoIndex));
-        let base = no_index.run();
+        let base = no_index.run().expect("service run failed");
         let mut gain = QaasService::new(short_config(IndexPolicy::Gain { delete: true }));
-        let tuned = gain.run();
+        let tuned = gain.run().expect("service run failed");
         // Same seed, same workload: the tuned service must finish at
         // least as many dataflows.
         assert!(
@@ -542,7 +674,7 @@ mod tests {
     #[test]
     fn random_policy_never_deletes() {
         let mut svc = QaasService::new(short_config(IndexPolicy::Random));
-        let r = svc.run();
+        let r = svc.run().expect("service run failed");
         assert_eq!(r.indexes_deleted, 0);
     }
 

@@ -190,6 +190,13 @@ impl IndexCatalog {
         });
     }
 
+    /// Invalidate one built index partition (a failed or fault-killed
+    /// build): it goes back to *not built* and can be re-attempted.
+    /// Returns true when the partition was built.
+    pub fn unmark_built(&mut self, id: IndexId, part: usize) -> bool {
+        self.states[id.index()].parts[part].take().is_some()
+    }
+
     /// A batch update bumped `file`'s partition `part` to `new_version`:
     /// drop every index partition built against an older version.
     /// Returns `(index, partition, freed_bytes)` for each dropped one.
@@ -293,6 +300,21 @@ mod tests {
         assert_eq!(cat.indexes_on(FileId(1)), &[c]);
         assert!(cat.indexes_on(FileId(9)).is_empty());
         assert_eq!(cat.spec(a).partition_count(), 3);
+    }
+
+    #[test]
+    fn unmark_built_supports_fail_invalidate_rebuild() {
+        let mut cat = IndexCatalog::new();
+        let id = cat.add(spec(0, 2));
+        // build -> fail -> invalidate -> rebuild.
+        cat.mark_built(id, 1, SimTime::from_secs(10), 0);
+        assert!(cat.is_partition_built(id, 1));
+        assert!(cat.unmark_built(id, 1));
+        assert!(!cat.is_partition_built(id, 1));
+        assert!(!cat.unmark_built(id, 1), "already invalidated");
+        assert_eq!(cat.built_bytes(id), 0);
+        cat.mark_built(id, 1, SimTime::from_secs(99), 0);
+        assert!(cat.is_partition_built(id, 1));
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn main() {
         config.params.tuner.alpha = alpha;
         config.policy = policy;
         config.workload = WorkloadKind::paper_phases();
-        QaasService::new(config).run()
+        QaasService::new(config).run().expect("service run failed")
     };
 
     println!("running No-Index baseline ({QUANTA} quanta)...");

@@ -94,13 +94,15 @@ fn main() {
 
     // 5. Execute on the simulated cloud.
     let sim = Simulator::new(setup.params.cloud.clone(), &setup.filedb);
-    let report = sim.execute(
-        &df.dag,
-        &schedule,
-        &df.index_uses,
-        &IndexAvailability::new(),
-        &BTreeMap::new(),
-    );
+    let report = sim
+        .execute(
+            &df.dag,
+            &schedule,
+            &df.index_uses,
+            &IndexAvailability::new(),
+            &BTreeMap::new(),
+        )
+        .expect("simulation failed");
     println!(
         "\nexecuted: makespan {:.1}s, {} leased quanta ({}), {} builds completed, {} killed",
         report.makespan.as_secs_f64(),

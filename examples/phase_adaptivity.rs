@@ -39,7 +39,7 @@ fn main() {
         config.params.total_quanta
     );
     let mut service = QaasService::new(config);
-    let report = service.run();
+    let report = service.run().expect("service run failed");
 
     println!();
     println!("time(q)  indexes  partitions  stored(MB)");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fault_matrix-cd50490e101828f1.d: crates/bench/src/bin/exp_fault_matrix.rs
+
+/root/repo/target/debug/deps/exp_fault_matrix-cd50490e101828f1: crates/bench/src/bin/exp_fault_matrix.rs
+
+crates/bench/src/bin/exp_fault_matrix.rs:

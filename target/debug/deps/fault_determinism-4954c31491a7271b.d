@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-4954c31491a7271b.d: crates/cloud/tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-4954c31491a7271b: crates/cloud/tests/fault_determinism.rs
+
+crates/cloud/tests/fault_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-25250e30bebd3893.d: crates/core/../../tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-25250e30bebd3893: crates/core/../../tests/fault_recovery.rs
+
+crates/core/../../tests/fault_recovery.rs:

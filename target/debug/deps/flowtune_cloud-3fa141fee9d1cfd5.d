@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/flowtune_cloud-3fa141fee9d1cfd5.d: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/debug/deps/flowtune_cloud-3fa141fee9d1cfd5.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
-/root/repo/target/debug/deps/flowtune_cloud-3fa141fee9d1cfd5: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/debug/deps/flowtune_cloud-3fa141fee9d1cfd5: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
 crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
 crates/cloud/src/perturb.rs:
 crates/cloud/src/report.rs:
 crates/cloud/src/sim.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/flowtune_cloud-e0a047a02f3e48b4.d: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/debug/deps/flowtune_cloud-e0a047a02f3e48b4.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
-/root/repo/target/debug/deps/libflowtune_cloud-e0a047a02f3e48b4.rlib: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/debug/deps/libflowtune_cloud-e0a047a02f3e48b4.rlib: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
-/root/repo/target/debug/deps/libflowtune_cloud-e0a047a02f3e48b4.rmeta: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/debug/deps/libflowtune_cloud-e0a047a02f3e48b4.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
 crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
 crates/cloud/src/perturb.rs:
 crates/cloud/src/report.rs:
 crates/cloud/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fault_matrix-d19ea1c33c7ee0b5.d: crates/bench/src/bin/exp_fault_matrix.rs
+
+/root/repo/target/release/deps/exp_fault_matrix-d19ea1c33c7ee0b5: crates/bench/src/bin/exp_fault_matrix.rs
+
+crates/bench/src/bin/exp_fault_matrix.rs:

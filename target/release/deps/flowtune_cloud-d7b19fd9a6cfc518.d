@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/flowtune_cloud-d7b19fd9a6cfc518.d: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/release/deps/flowtune_cloud-d7b19fd9a6cfc518.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
-/root/repo/target/release/deps/libflowtune_cloud-d7b19fd9a6cfc518.rlib: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/release/deps/libflowtune_cloud-d7b19fd9a6cfc518.rlib: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
-/root/repo/target/release/deps/libflowtune_cloud-d7b19fd9a6cfc518.rmeta: crates/cloud/src/lib.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+/root/repo/target/release/deps/libflowtune_cloud-d7b19fd9a6cfc518.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
 
 crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
 crates/cloud/src/perturb.rs:
 crates/cloud/src/report.rs:
 crates/cloud/src/sim.rs:

@@ -14,7 +14,7 @@ fn full_service_runs_are_bit_identical_per_seed() {
         config.params.seed = seed;
         config.policy = IndexPolicy::Gain { delete: true };
         config.max_skyline = 4;
-        QaasService::new(config).run()
+        QaasService::new(config).run().expect("service run failed")
     };
     let a = run(42);
     let b = run(42);
@@ -48,7 +48,10 @@ fn full_service_reports_are_byte_identical_per_seed() {
         config.params.seed = seed;
         config.policy = IndexPolicy::Gain { delete: true };
         config.max_skyline = 4;
-        format!("{:?}", QaasService::new(config).run())
+        format!(
+            "{:?}",
+            QaasService::new(config).run().expect("service run failed")
+        )
     };
     let (a, b) = (run(42), run(42));
     assert!(a == b, "identical seeds rendered different reports");

@@ -13,7 +13,7 @@ fn run(policy: IndexPolicy, workload: WorkloadKind, quanta: u64, seed: u64) -> R
     config.policy = policy;
     config.workload = workload;
     config.max_skyline = 4;
-    QaasService::new(config).run()
+    QaasService::new(config).run().expect("service run failed")
 }
 
 #[test]
@@ -147,6 +147,6 @@ fn estimation_errors_do_not_break_the_service() {
     config.params.seed = 7;
     config.estimation_error = (0.3, 0.3);
     config.max_skyline = 4;
-    let r = QaasService::new(config).run();
+    let r = QaasService::new(config).run().expect("service run failed");
     assert!(r.dataflows_finished > 0);
 }

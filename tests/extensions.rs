@@ -13,7 +13,7 @@ fn run(mutate: impl FnOnce(&mut ServiceConfig)) -> RunReport {
     config.workload = WorkloadKind::paper_phases();
     config.max_skyline = 4;
     mutate(&mut config);
-    QaasService::new(config).run()
+    QaasService::new(config).run().expect("service run failed")
 }
 
 #[test]

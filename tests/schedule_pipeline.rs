@@ -79,13 +79,15 @@ fn simulation_of_interleaved_schedule_matches_plan_without_errors() {
         let mut schedule = scheduler.schedule(&dag).remove(0);
         LpInterleaver::new(cloud.quantum).interleave(&mut schedule, &pending_ops(40));
         let sim = Simulator::new(cloud.clone(), &setup.filedb);
-        let exec = sim.execute(
-            &dag,
-            &schedule,
-            &[],
-            &IndexAvailability::new(),
-            &BTreeMap::new(),
-        );
+        let exec = sim
+            .execute(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+            )
+            .expect("simulation failed");
         assert!(
             exec.makespan <= schedule.makespan(),
             "{}: simulated {} > planned {}",
