@@ -26,6 +26,16 @@ cargo test -q --offline -p flowtune-core --test fault_recovery
 echo "==> exp_fault_matrix --smoke"
 cargo run -q --offline --release -p flowtune-bench --bin exp_fault_matrix -- --smoke
 
+echo "==> observability golden trace (smoke)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run -q --offline --release -p flowtune-core --bin flowtune -- \
+  --quanta 4 --seed 1 --concurrency 1 \
+  --trace-out "$obs_tmp/trace.jsonl" --metrics-out "$obs_tmp/metrics.json" \
+  > /dev/null
+diff -u tests/golden/trace_smoke.jsonl "$obs_tmp/trace.jsonl"
+diff -u tests/golden/metrics_smoke.json "$obs_tmp/metrics.json"
+
 echo "==> flowtune-analyze (workspace invariants)"
 cargo run -q --offline -p flowtune-analyze
 

@@ -17,6 +17,7 @@ const ORDERED_CRATES: &[&str] = &[
     "flowtune-tuner",
     "flowtune-interleave",
     "flowtune-core",
+    "flowtune-obs",
 ];
 
 const BANNED: &[&str] = &["HashMap", "HashSet"];

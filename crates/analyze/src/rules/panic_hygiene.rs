@@ -24,6 +24,7 @@ const CORE_CRATES: &[&str] = &[
     "flowtune-cloud",
     "flowtune-tuner",
     "flowtune-core",
+    "flowtune-obs",
 ];
 
 /// Substring patterns (matched on the comment/string-stripped view).

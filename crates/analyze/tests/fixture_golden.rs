@@ -25,6 +25,12 @@ fn fixture_findings_match_golden_list() {
         // (line 18) are absent.
         ("crates/cloud/src/fault.rs", 4, "determinism"),
         ("crates/cloud/src/fault.rs", 8, "determinism"),
+        // HashMap import and signature plus an Instant wall clock in the
+        // obs fixture; the waived unwrap (line 16) and the #[cfg(test)]
+        // SystemTime (line 26) are absent.
+        ("crates/obs/src/lib.rs", 5, "ordered-iteration"),
+        ("crates/obs/src/lib.rs", 7, "ordered-iteration"),
+        ("crates/obs/src/lib.rs", 8, "determinism"),
         // Unused dep and dev-dep in the sched fixture manifest.
         ("crates/sched/Cargo.toml", 7, "dep-hygiene"),
         ("crates/sched/Cargo.toml", 10, "dep-hygiene"),

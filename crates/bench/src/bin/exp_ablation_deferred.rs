@@ -115,6 +115,7 @@ fn service_sanity(quanta: u64) {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     let quanta = flowtune_bench::horizon_quanta();
     flowtune_bench::banner(
         "Ablation: deferred batch builds",

@@ -16,6 +16,7 @@ use flowtune_core::{QaasService, RecoveryConfig, RecoveryPolicyKind, ServiceConf
 use flowtune_dataflow::WorkloadKind;
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let quanta = if smoke {
         40

@@ -45,6 +45,7 @@ fn lp_pack(slots: &[u64], sizes: &[u64], values: &[f64]) -> f64 {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figures 10-11",
         "knapsack packing vs Graham baseline and upper bound",

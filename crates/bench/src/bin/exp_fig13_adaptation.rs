@@ -11,6 +11,7 @@ use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     let quanta = flowtune_bench::horizon_quanta();
     flowtune_bench::banner(
         "Figure 13",

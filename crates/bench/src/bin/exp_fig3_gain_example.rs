@@ -66,6 +66,7 @@ impl IndexTrack {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figure 3 / Table 2",
         "gain over time of indexes A and B (§4)",

@@ -48,6 +48,7 @@ fn ranked_at(alpha: f64) -> Vec<&'static str> {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner("Figure 4", "index ordering based on α (§5.1)");
     let mut rows = vec![vec![
         "alpha".to_string(),

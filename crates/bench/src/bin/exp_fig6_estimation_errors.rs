@@ -16,6 +16,7 @@ use flowtune_core::tablefmt::render_table;
 use flowtune_sched::{total_fragmentation, SkylineScheduler};
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figure 6",
         "offline scheduler robustness to estimation errors",

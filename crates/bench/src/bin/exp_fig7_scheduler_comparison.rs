@@ -40,6 +40,7 @@ fn scale_dag(dag: &Dag, time_factor: f64, data_factor: f64) -> Dag {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figure 7",
         "online load-balance vs offline skyline scheduler",

@@ -13,6 +13,7 @@ use flowtune_interleave::{BuildOp, LpInterleaver, OnlineInterleaver};
 use flowtune_sched::{BuildRef, SkylineScheduler};
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figure 8",
         "indexes scheduled for the Montage dataflow (§6.4)",

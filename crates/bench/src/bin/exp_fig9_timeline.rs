@@ -48,6 +48,7 @@ fn render_timeline(schedule: &Schedule, quantum: SimDuration) -> String {
 }
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Figure 9",
         "Montage timeline with build-index operators (green = '+')",

@@ -12,6 +12,7 @@ use flowtune_dataflow::App;
 use flowtune_sched::{HeterogeneousScheduler, VmType};
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner(
         "Exploration: heterogeneous pools",
         "skyline scheduling over mixed VM types (§7 future work)",

@@ -9,6 +9,7 @@ use flowtune_core::tablefmt::render_table;
 use flowtune_dataflow::{App, FileDatabase};
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner("Table 4", "basic statistics of the scientific dataflows");
     let mut rng = SimRng::seed_from_u64(4);
     let filedb = FileDatabase::generate(&mut rng);

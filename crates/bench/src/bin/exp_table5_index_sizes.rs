@@ -19,6 +19,7 @@ const PAPER: [(&str, f64, f64); 4] = [
 ];
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     flowtune_bench::banner("Table 5", "indexes on table lineitem (SF 2, ~12 M rows)");
     let schema = LineitemGenerator::schema();
     let table_rec = schema.avg_row_bytes();

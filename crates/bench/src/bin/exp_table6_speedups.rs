@@ -21,6 +21,7 @@ const PAPER: [(&str, f64, f64, f64); 4] = [
 ];
 
 fn main() {
+    let _obs = flowtune_bench::obs_guard();
     let rows_n = flowtune_bench::table6_rows();
     flowtune_bench::banner("Table 6", "index speedup (measured on real B+Tree)");
     println!("table rows: {rows_n} (paper: ~12 M at SF 2)");

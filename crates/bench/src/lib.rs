@@ -17,8 +17,59 @@
 //!   quick smoke runs.
 //! * `FLOWTUNE_TABLE6_ROWS` — row count for the measured speedups of
 //!   Table 6 (default 2,000,000).
+//!
+//! Every binary also honours `--trace-out <path>` / `--metrics-out
+//! <path>` (see [`obs_guard`]): when either flag is present the run is
+//! recorded through `flowtune-obs` and the trace (JSONL) / metrics
+//! summary (JSON) are written on exit. The metrics summary is the
+//! machine-readable seed for `BENCH_*.json`.
 
 pub mod micro;
+
+/// Writes the observability outputs when dropped (end of `main`).
+#[derive(Debug, Default)]
+pub struct ObsGuard {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let Some(rec) = flowtune_obs::uninstall() else {
+            return;
+        };
+        if let Some(path) = &self.trace {
+            if let Err(e) = std::fs::write(path, rec.trace_jsonl()) {
+                eprintln!("error: writing trace {path}: {e}");
+            }
+        }
+        if let Some(path) = &self.metrics {
+            if let Err(e) = std::fs::write(path, rec.metrics_json()) {
+                eprintln!("error: writing metrics {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Parse `--trace-out` / `--metrics-out` from the command line and, when
+/// either is present, install a `flowtune-obs` recorder for the rest of
+/// the process. Call once at the top of an experiment's `main` and keep
+/// the guard alive; files are written when it drops.
+pub fn obs_guard() -> ObsGuard {
+    let mut guard = ObsGuard::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => guard.trace = args.next(),
+            "--metrics-out" => guard.metrics = args.next(),
+            _ => {}
+        }
+    }
+    if guard.trace.is_some() || guard.metrics.is_some() {
+        flowtune_obs::install();
+    }
+    guard
+}
 
 /// Read the horizon override (quanta).
 pub fn horizon_quanta() -> u64 {

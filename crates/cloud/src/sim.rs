@@ -174,6 +174,12 @@ impl<'a> Simulator<'a> {
                 // Pad by one quantum: actual execution drifts past the
                 // plan and a revocation can land in that drift too.
                 if let Some(t) = faults.revocation_in(s, e + quantum) {
+                    flowtune_obs::obs_event!(
+                        "cloud.revocation",
+                        container = c.0,
+                        revoke_at_ms = t.as_millis(),
+                    );
+                    flowtune_obs::count("cloud.revocations", 1);
                     revocations.insert(c, t);
                     report.revoked_containers.push(c);
                 }
@@ -429,8 +435,42 @@ impl<'a> Simulator<'a> {
         // Actual fragmentation: leased minus busy per container.
         for (&c, &(ls, le)) in &leases {
             let b = busy.get(&c).copied().unwrap_or(SimDuration::ZERO);
-            report.fragmentation += (le - ls).saturating_sub(b);
+            let leased = le - ls;
+            let waste = leased.saturating_sub(b);
+            report.fragmentation += waste;
+            flowtune_obs::obs_event!(
+                "cloud.container",
+                container = c.0,
+                leased_ms = leased.as_millis(),
+                busy_ms = b.as_millis(),
+                waste_ms = waste.as_millis(),
+                utilization = b.as_millis() as f64 / leased.as_millis().max(1) as f64,
+            );
+            flowtune_obs::observe(
+                "cloud.utilization",
+                b.as_millis() as f64 / leased.as_millis().max(1) as f64,
+            );
+            flowtune_obs::observe("cloud.quantum_waste_ms", waste.as_millis() as f64);
         }
+        flowtune_obs::obs_event!(
+            "cloud.exec",
+            dataflow_ops = report.dataflow_ops,
+            killed_ops = report.killed_ops.len(),
+            completed_builds = report.completed_builds.len(),
+            killed_builds = report.killed_builds.len(),
+            failed_builds = report.failed_builds.len(),
+            fault_killed_builds = report.fault_killed_builds.len(),
+            leased_quanta = report.leased_quanta,
+            makespan_ms = report.makespan.as_millis(),
+            fragmentation_ms = report.fragmentation.as_millis(),
+            storage_faults = report.storage_faults,
+            straggler_ops = report.straggler_ops,
+        );
+        flowtune_obs::count("cloud.executions", 1);
+        flowtune_obs::count("cloud.storage_faults", report.storage_faults);
+        flowtune_obs::count("cloud.straggler_ops", report.straggler_ops);
+        flowtune_obs::count("cloud.killed_ops", report.killed_ops.len() as u64);
+        flowtune_obs::count("cloud.leased_quanta", report.leased_quanta);
         Ok(report)
     }
 }

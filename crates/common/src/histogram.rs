@@ -9,6 +9,7 @@ pub struct Histogram {
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    nan_count: u64,
 }
 
 impl Histogram {
@@ -22,11 +23,18 @@ impl Histogram {
             hi,
             counts: vec![0; buckets],
             total: 0,
+            nan_count: 0,
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. NaN is tallied separately (`NaN as usize`
+    /// is 0, which used to silently corrupt bucket 0) and excluded
+    /// from `total()`.
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         let idx = ((x - self.lo) / width).floor();
         let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
@@ -44,9 +52,14 @@ impl Histogram {
         self.counts.len()
     }
 
-    /// Total samples recorded.
+    /// Total non-NaN samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of NaN samples rejected by [`Histogram::record`].
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
     }
 
     /// The `[start, end)` range of bucket `i`.
@@ -88,6 +101,22 @@ mod tests {
         h.record(42.0);
         assert_eq!(h.count(0), 1);
         assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn nan_is_counted_separately_not_in_bucket_zero() {
+        // Regression: `NaN as usize == 0`, so NaN samples used to be
+        // recorded as bucket-0 hits and inflate total().
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::NAN);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.nan_count(), 2);
+        h.record(0.1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.nan_count(), 2);
     }
 
     #[test]

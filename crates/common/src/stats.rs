@@ -5,13 +5,22 @@
 //! and to aggregate experiment measurements.
 
 /// Single-pass min/max/mean/standard-deviation accumulator.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`]. A derived `Default` would zero
+    /// `min`/`max`, so the first `push(x)` could never raise `min`
+    /// above `0.0` — `default()` must match `new()` exactly.
+    fn default() -> Self {
+        OnlineStats::new()
+    }
 }
 
 impl OnlineStats {
@@ -119,18 +128,21 @@ impl OnlineStats {
 
 /// Percentile of a *sorted* slice using linear interpolation.
 ///
-/// `q` is in `[0, 1]`. Panics on an empty slice.
-pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
+/// `q` is in `[0, 1]`. Returns `None` on an empty slice so report
+/// paths never panic on a run that produced no samples.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     debug_assert!((0.0..=1.0).contains(&q), "quantile out of range");
-    if sorted.len() == 1 {
-        return sorted[0];
+    match sorted {
+        [] => None,
+        [only] => Some(*only),
+        _ => {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+        }
     }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 #[cfg(test)]
@@ -162,10 +174,27 @@ mod tests {
     #[test]
     fn percentiles() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
-        assert_eq!(percentile_sorted(&v, 1.0), 4.0);
-        assert!((percentile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
-        assert_eq!(percentile_sorted(&[7.0], 0.4), 7.0);
+        assert_eq!(percentile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(percentile_sorted(&v, 1.0), Some(4.0));
+        assert!((percentile_sorted(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[7.0], 0.4), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_slice_is_none() {
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        assert_eq!(percentile_sorted(&[], 0.0), None);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // Regression: a derived Default zeroed min/max, so pushing 5.0
+        // into a default() accumulator reported min = 0.0.
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
     }
 
     fn random_vec(rng: &mut SimRng, max_len: u64, lo: f64, hi: f64) -> Vec<f64> {

@@ -37,14 +37,44 @@ OPTIONS:
     --fault-seed <N>   seed of the dedicated fault stream             [default]
     --recovery-policy <R>
                        no-retry | retry | retry-gain-penalty          [retry]
+    --trace-out <PATH>    write the observability event trace (JSONL)
+    --metrics-out <PATH>  write the metrics summary (JSON)
     --csv              also print per-dataflow records as CSV
     --help             show this help
 ";
 
-fn parse_args() -> Result<(ServiceConfig, bool), String> {
+/// Where to write the observability outputs, from the CLI flags.
+#[derive(Debug, Default)]
+struct ObsOutputs {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl ObsOutputs {
+    fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Take the recorder off the thread and write the requested files.
+    fn write(&self) -> Result<(), String> {
+        let Some(rec) = flowtune_obs::uninstall() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace {
+            std::fs::write(path, rec.trace_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, rec.metrics_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_args() -> Result<(ServiceConfig, bool, ObsOutputs), String> {
     let mut config = ServiceConfig::default();
     config.workload = WorkloadKind::paper_phases();
     let mut csv = false;
+    let mut obs = ObsOutputs::default();
     // flowtune-allow(determinism): CLI argument parsing is this binary's input boundary
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +165,8 @@ fn parse_args() -> Result<(ServiceConfig, bool), String> {
                 config.recovery.policy = RecoveryPolicyKind::parse(&value("--recovery-policy")?)
                     .map_err(|e| e.to_string())?
             }
+            "--trace-out" => obs.trace = Some(value("--trace-out")?),
+            "--metrics-out" => obs.metrics = Some(value("--metrics-out")?),
             "--csv" => csv = true,
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -144,11 +176,11 @@ fn parse_args() -> Result<(ServiceConfig, bool), String> {
         }
     }
     config.params.tuner.validate().map_err(|e| e.to_string())?;
-    Ok((config, csv))
+    Ok((config, csv, obs))
 }
 
 fn main() -> ExitCode {
-    let (config, csv) = match parse_args() {
+    let (config, csv, obs) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -158,6 +190,9 @@ fn main() -> ExitCode {
     let policy = config.policy;
     let quanta = config.params.total_quanta;
     let faulted = config.faults.is_active();
+    if obs.active() {
+        flowtune_obs::install();
+    }
     eprintln!("running {} for {} quanta...", policy.label(), quanta);
     let report = match QaasService::new(config).run() {
         Ok(r) => r,
@@ -166,6 +201,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if obs.active() {
+        if let Err(e) = obs.write() {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     println!("policy:              {}", policy.label());
     println!("dataflows issued:    {}", report.dataflows_issued);

@@ -192,6 +192,17 @@ impl QaasService {
             let df_seq = next_id;
             let df = self.factory.make(DataflowId(next_id), app, issued);
             next_id += 1;
+            // Stamp everything this round records (tuner, scheduler,
+            // interleaver, simulator) with the issue instant.
+            flowtune_obs::set_now(issued);
+            flowtune_obs::obs_event!(
+                "service.issue",
+                dataflow = df_seq,
+                app = df.app.name(),
+                lane = lane,
+                ops = df.dag.len(),
+            );
+            flowtune_obs::count("service.dataflows_issued", 1);
 
             // --- Tune (Alg. 1 lines 2-9 and 13-19). ---
             let gains = dataflow_index_gains(&df, &self.catalog, &cloud);
@@ -239,6 +250,13 @@ impl QaasService {
 
             // --- Schedule + interleave (Alg. 1 lines 10-11). ---
             let schedule = self.plan(&df, &pending);
+            flowtune_obs::obs_event!(
+                "service.plan",
+                dataflow = df_seq,
+                builds_offered = pending.len(),
+                builds_placed = schedule.build_assignments().count(),
+                planned_makespan_ms = schedule.makespan().as_millis(),
+            );
             if self.config.deferred_builds {
                 let placed: std::collections::BTreeSet<BuildRef> = schedule
                     .build_assignments()
@@ -322,6 +340,19 @@ impl QaasService {
             }
             let total_makespan = exec.makespan + recovery_delay;
             let finish = issued + total_makespan;
+            flowtune_obs::set_now(finish);
+            flowtune_obs::obs_event!(
+                "service.complete",
+                dataflow = df_seq,
+                completed = df_completed,
+                makespan_ms = exec.makespan.as_millis(),
+                recovery_delay_ms = recovery_delay.as_millis(),
+                attempts = attempt,
+            );
+            if df_completed {
+                flowtune_obs::count("service.dataflows_completed", 1);
+            }
+            flowtune_obs::count("service.recovery_attempts", attempt as u64);
 
             // --- Commit completed builds; killed ones stay pending via
             // the catalog (they are re-derived next round). ---
@@ -338,6 +369,14 @@ impl QaasService {
                 if !self.catalog.is_partition_built(cb.build.index, part) {
                     self.catalog.mark_built(cb.build.index, part, at, 0);
                     let bytes = self.catalog.spec(cb.build.index).partition_bytes(part);
+                    flowtune_obs::obs_event!(
+                        "service.index_commit",
+                        index = cb.build.index.0,
+                        part = cb.build.part,
+                        at_ms = at.as_millis(),
+                        bytes = bytes,
+                    );
+                    flowtune_obs::count("service.index_commits", 1);
                     self.storage.put(
                         ObjectKey::IndexPart(cb.build.index, cb.build.part),
                         bytes,
@@ -408,6 +447,12 @@ impl QaasService {
             } else {
                 exec.accelerated_reads as f64 / total_reads as f64
             };
+            flowtune_obs::observe(
+                "service.makespan_quanta",
+                total_makespan.quanta(cloud.quantum).get(),
+            );
+            flowtune_obs::observe("service.indexed_fraction", indexed);
+            flowtune_obs::observe("service.cost_quanta", exec.leased_quanta as f64);
             report.per_dataflow.push(crate::report::DataflowRecord {
                 app: df.app.name(),
                 issued_quanta: issued.quanta(cloud.quantum),
@@ -548,6 +593,13 @@ impl QaasService {
         let freed = self.catalog.delete_index(idx);
         if freed > 0 {
             report.indexes_deleted += 1;
+            flowtune_obs::obs_event!(
+                "service.index_drop",
+                index = idx.0,
+                freed_bytes = freed,
+                at_ms = now.as_millis(),
+            );
+            flowtune_obs::count("service.index_drops", 1);
             for part in 0..parts {
                 // Never bill backwards: a build committed in the previous
                 // dataflow's tail slot may have settled past `now`.

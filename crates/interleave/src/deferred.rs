@@ -59,6 +59,7 @@ impl DeferredBuildQueue {
     /// ref) keep the higher gain.
     pub fn defer(&mut self, ops: impl IntoIterator<Item = BuildOp>) {
         for op in ops {
+            flowtune_obs::count("interleave.deferred", 1);
             match self.pending.iter_mut().find(|p| p.build == op.build) {
                 Some(existing) => existing.gain = existing.gain.max(op.gain),
                 None => self.pending.push(op),
@@ -126,10 +127,20 @@ impl DeferredBuildQueue {
         }
         self.pending = rest;
         let quanta = pricing::quanta_to_cover(used, self.quantum);
+        let batch_cost = pricing::compute_cost(quanta, self.vm_price);
+        flowtune_obs::obs_event!(
+            "interleave.deferred_flush",
+            ops = ops.len(),
+            still_queued = self.pending.len(),
+            quanta = quanta,
+            cost_dollars = batch_cost.as_dollars(),
+        );
+        flowtune_obs::count("interleave.deferred_flushes", 1);
+        flowtune_obs::count("interleave.deferred_built", ops.len() as u64);
         Some(BatchBuild {
             ops,
             quanta,
-            cost: pricing::compute_cost(quanta, self.vm_price),
+            cost: batch_cost,
         })
     }
 }

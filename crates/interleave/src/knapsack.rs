@@ -18,6 +18,9 @@ pub struct KnapsackSolution {
     pub value: f64,
     /// Total size of the chosen items.
     pub size: u64,
+    /// Branch-and-bound nodes expanded (0 when the greedy incumbent
+    /// already met the LP bound and the search never ran a full pass).
+    pub nodes: usize,
 }
 
 /// Upper bound from the LP relaxation (items sorted by value density,
@@ -175,6 +178,7 @@ pub fn solve_knapsack_budgeted(
         chosen,
         value: search.best_value,
         size,
+        nodes: search.nodes,
     }
 }
 

@@ -33,6 +33,9 @@ impl LpInterleaver {
     pub fn interleave(&self, schedule: &mut Schedule, pending: &[BuildOp]) -> Vec<BuildOp> {
         let mut slots = idle_slots(schedule, self.quantum);
         slots.sort_by_key(|s| std::cmp::Reverse(s.duration()));
+        let slots_offered = slots.len();
+        let mut slots_filled = 0usize;
+        let mut knapsack_nodes = 0u64;
         let mut remaining: Vec<BuildOp> = pending.to_vec();
         let mut placed = Vec::new();
         for slot in slots {
@@ -42,9 +45,12 @@ impl LpInterleaver {
             let sizes: Vec<u64> = remaining.iter().map(|b| b.duration.as_millis()).collect();
             let gains: Vec<f64> = remaining.iter().map(|b| b.gain).collect();
             let sol = solve_knapsack(slot.duration().as_millis(), &sizes, &gains);
+            knapsack_nodes += sol.nodes as u64;
+            flowtune_obs::observe("interleave.knapsack_nodes", sol.nodes as f64);
             if sol.chosen.is_empty() {
                 continue;
             }
+            slots_filled += 1;
             // Schedule the chosen ops inside the slot by decreasing gain.
             let mut chosen: Vec<BuildOp> = sol.chosen.iter().map(|&i| remaining[i]).collect();
             chosen.sort_by(|a, b| b.gain.total_cmp(&a.gain));
@@ -68,6 +74,18 @@ impl LpInterleaver {
             remaining.retain(|b| !placed_ids.contains(&b.id));
             placed.extend(chosen);
         }
+        flowtune_obs::obs_event!(
+            "interleave.pack",
+            slots_offered = slots_offered,
+            slots_filled = slots_filled,
+            pending = pending.len(),
+            placed = placed.len(),
+            knapsack_nodes = knapsack_nodes,
+        );
+        flowtune_obs::count("interleave.slots_offered", slots_offered as u64);
+        flowtune_obs::count("interleave.slots_filled", slots_filled as u64);
+        flowtune_obs::count("interleave.placed", placed.len() as u64);
+        flowtune_obs::count("interleave.knapsack_nodes", knapsack_nodes);
         placed
     }
 

@@ -101,9 +101,14 @@ impl Partial {
     }
 
     fn money_quanta(&self, quantum: SimDuration) -> u64 {
+        // `e >= s` (not `>`): a container whose only ops are
+        // zero-duration has span (s, s) but is still leased and billed
+        // one quantum. The unused-container sentinel (MAX, ZERO) stays
+        // excluded. `Schedule::leased_span` bills the same way, so the
+        // search's money objective matches the reported money.
         self.container_span
             .iter()
-            .filter(|(s, e)| e > s)
+            .filter(|(s, e)| e >= s)
             .map(|(s, e)| {
                 let lease_start = s.quantum_floor(quantum);
                 let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
@@ -187,7 +192,22 @@ impl SkylineScheduler {
                     expanded.push(self.assign_dataflow_op(p, dag, op, c));
                 }
             }
+            let generated = expanded.len();
             skyline = self.reduce(expanded);
+            flowtune_obs::obs_event!(
+                "sched.step",
+                step = step,
+                op = op.0,
+                candidates = generated,
+                width = skyline.len(),
+            );
+            flowtune_obs::count("sched.steps", 1);
+            flowtune_obs::count("sched.candidates", generated as u64);
+            flowtune_obs::count(
+                "sched.pruned",
+                generated.saturating_sub(skyline.len()) as u64,
+            );
+            flowtune_obs::observe("sched.skyline_width", skyline.len() as f64);
             // Offer a proportional share of the optional queue.
             let opt_until = optional.len() * (step + 1) / n;
             while next_opt < opt_until {
@@ -314,7 +334,10 @@ impl SkylineScheduler {
                     let p_idle = p.longest_sequential_idle(quantum);
                     let last_idle = last.longest_sequential_idle(quantum);
                     let better = match p_idle.cmp(&last_idle) {
-                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Greater => {
+                            flowtune_obs::count("sched.tiebreak_idle", 1);
+                            true
+                        }
                         std::cmp::Ordering::Less => false,
                         // The operator count only decides between
                         // *identical* dataflow skeletons; across different
@@ -322,7 +345,12 @@ impl SkylineScheduler {
                         // plain scheduler would, so offering optional ops
                         // never changes how the front evolves.
                         std::cmp::Ordering::Equal => {
-                            p.skeleton == last.skeleton && p.optional_count > last.optional_count
+                            let wins = p.skeleton == last.skeleton
+                                && p.optional_count > last.optional_count;
+                            if wins {
+                                flowtune_obs::count("sched.tiebreak_optcount", 1);
+                            }
+                            wins
                         }
                     };
                     if better {
@@ -552,6 +580,61 @@ mod tests {
             .max()
             .unwrap();
         assert!(built > 0, "no optional op was ever placed");
+    }
+
+    #[test]
+    fn zero_duration_op_still_bills_one_quantum() {
+        // Regression: the old `e > s` billing filter dropped containers
+        // whose only assignments are zero-duration, yielding a leased
+        // container with zero billed quanta.
+        let sched = SkylineScheduler::new(cfg());
+        let dag = Dag::new(vec![op(0, 0)], vec![]).unwrap();
+        let p = sched.assign_dataflow_op(&Partial::new(1), &dag, OpId(0), 0);
+        assert_eq!(p.container_free.len(), 1);
+        assert_eq!(p.money_quanta(SimDuration::from_secs(60)), 1);
+    }
+
+    #[test]
+    fn property_every_leased_container_is_billed() {
+        // Random chains with zero-duration ops mixed in, assigned to
+        // random containers: every container that received an op must
+        // be billed at least one quantum, and the search's money
+        // objective must agree with the reported leased quanta.
+        let sched = SkylineScheduler::new(cfg());
+        let quantum = SimDuration::from_secs(60);
+        let mut rng = SimRng::seed_from_u64(0xB111);
+        for _ in 0..100 {
+            let n = 1 + rng.uniform_u64(1, 9) as usize;
+            let ops: Vec<OpSpec> = (0..n)
+                .map(|i| op(i as u32, rng.uniform_u64(0, 3)))
+                .collect();
+            let edges: Vec<Edge> = (1..n)
+                .map(|i| Edge {
+                    from: OpId(i as u32 - 1),
+                    to: OpId(i as u32),
+                    bytes: 0,
+                })
+                .collect();
+            let dag = Dag::new(ops, edges).unwrap();
+            let mut p = Partial::new(n);
+            for i in 0..n {
+                let used = p.container_free.len();
+                let c = rng.uniform_u64(0, used as u64 + 1) as usize;
+                p = sched.assign_dataflow_op(&p, &dag, OpId(i as u32), c);
+            }
+            let leased = p.container_free.len() as u64;
+            assert!(
+                p.money_quanta(quantum) >= leased,
+                "container leased but unbilled: {} quanta for {leased} containers",
+                p.money_quanta(quantum),
+            );
+            let schedule = Schedule::from_assignments(p.assignments.clone());
+            assert_eq!(
+                p.money_quanta(quantum),
+                schedule.leased_quanta(quantum),
+                "search money objective disagrees with reported billing"
+            );
+        }
     }
 
     #[test]

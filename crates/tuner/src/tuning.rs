@@ -119,14 +119,31 @@ impl OnlineTuner {
             extras.clear();
             extras.extend(active.iter().filter_map(|m| m.get(&idx).copied()));
             let gains = self.gains_of(idx, now, catalog, &extras);
+            // Eq. 5 (time gain), Eq. 4 (money gain), Eq. 3 (combined).
+            flowtune_obs::obs_event!(
+                "tuner.gain",
+                index = idx.0,
+                gt = gains.gt,
+                gm = gains.gm,
+                g = gains.g,
+            );
+            flowtune_obs::count("tuner.gain_evals", 1);
+            flowtune_obs::observe("tuner.gain", gains.g);
             all.push((idx, gains));
         }
         let beneficial = rank_indexes(&all);
-        let deletions = all
+        let deletions: Vec<IndexId> = all
             .iter()
             .filter(|(idx, g)| g.is_deletable() && !catalog.state(*idx).empty())
             .map(|(idx, _)| *idx)
             .collect();
+        flowtune_obs::obs_event!(
+            "tuner.decide",
+            evaluated = all.len(),
+            beneficial = beneficial.len(),
+            deletions = deletions.len(),
+        );
+        flowtune_obs::count("tuner.decisions", 1);
         TuningDecision {
             beneficial,
             deletions,

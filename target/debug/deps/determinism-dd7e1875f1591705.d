@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-dd7e1875f1591705.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-dd7e1875f1591705: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f34d18d7fc526f23.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f34d18d7fc526f23: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-55d155502a550381.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-55d155502a550381: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

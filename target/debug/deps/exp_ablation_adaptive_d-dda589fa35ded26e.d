@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-dda589fa35ded26e.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/debug/deps/exp_ablation_adaptive_d-dda589fa35ded26e: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-3cf892212748340e.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-3cf892212748340e: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

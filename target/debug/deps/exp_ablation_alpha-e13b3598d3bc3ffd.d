@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_alpha-e13b3598d3bc3ffd.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/debug/deps/exp_ablation_alpha-e13b3598d3bc3ffd: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-a14acb45d38df8b5.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-a14acb45d38df8b5: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_deferred-d73b9d838361ff28.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/debug/deps/exp_ablation_deferred-d73b9d838361ff28: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fault_matrix-22310729741c472c.d: crates/bench/src/bin/exp_fault_matrix.rs
+
+/root/repo/target/debug/deps/exp_fault_matrix-22310729741c472c: crates/bench/src/bin/exp_fault_matrix.rs
+
+crates/bench/src/bin/exp_fault_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fault_matrix-4fd07326c3582d34.d: crates/bench/src/bin/exp_fault_matrix.rs
+
+/root/repo/target/debug/deps/exp_fault_matrix-4fd07326c3582d34: crates/bench/src/bin/exp_fault_matrix.rs
+
+crates/bench/src/bin/exp_fault_matrix.rs:

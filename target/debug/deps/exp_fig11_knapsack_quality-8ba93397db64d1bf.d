@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-8ba93397db64d1bf.d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+/root/repo/target/debug/deps/exp_fig11_knapsack_quality-8ba93397db64d1bf: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+crates/bench/src/bin/exp_fig11_knapsack_quality.rs:

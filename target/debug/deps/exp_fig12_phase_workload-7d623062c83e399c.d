@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_phase_workload-7d623062c83e399c.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/debug/deps/exp_fig12_phase_workload-7d623062c83e399c: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

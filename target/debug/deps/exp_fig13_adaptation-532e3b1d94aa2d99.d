@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-532e3b1d94aa2d99.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-532e3b1d94aa2d99: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13_adaptation-c5d1de5ee0709d15.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/debug/deps/exp_fig13_adaptation-c5d1de5ee0709d15: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

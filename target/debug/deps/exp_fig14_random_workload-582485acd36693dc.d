@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14_random_workload-582485acd36693dc.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/debug/deps/exp_fig14_random_workload-582485acd36693dc: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

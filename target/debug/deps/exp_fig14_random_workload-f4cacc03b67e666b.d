@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14_random_workload-f4cacc03b67e666b.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/debug/deps/exp_fig14_random_workload-f4cacc03b67e666b: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

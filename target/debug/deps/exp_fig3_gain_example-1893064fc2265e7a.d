@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_gain_example-1893064fc2265e7a.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/debug/deps/exp_fig3_gain_example-1893064fc2265e7a: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_gain_example-d221cb66444547b9.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/debug/deps/exp_fig3_gain_example-d221cb66444547b9: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

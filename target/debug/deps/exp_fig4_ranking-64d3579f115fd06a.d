@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-64d3579f115fd06a.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-64d3579f115fd06a: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

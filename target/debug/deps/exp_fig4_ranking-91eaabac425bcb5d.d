@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_ranking-91eaabac425bcb5d.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/debug/deps/exp_fig4_ranking-91eaabac425bcb5d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

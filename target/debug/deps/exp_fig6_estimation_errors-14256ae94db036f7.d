@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-14256ae94db036f7.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-14256ae94db036f7: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

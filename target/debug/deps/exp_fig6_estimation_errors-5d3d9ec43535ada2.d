@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-5d3d9ec43535ada2.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/debug/deps/exp_fig6_estimation_errors-5d3d9ec43535ada2: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

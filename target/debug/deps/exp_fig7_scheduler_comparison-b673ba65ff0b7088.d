@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-b673ba65ff0b7088.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-b673ba65ff0b7088: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

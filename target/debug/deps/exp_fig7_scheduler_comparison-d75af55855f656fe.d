@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-d75af55855f656fe.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/debug/deps/exp_fig7_scheduler_comparison-d75af55855f656fe: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-2f8f4a8c937434e6.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-2f8f4a8c937434e6: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

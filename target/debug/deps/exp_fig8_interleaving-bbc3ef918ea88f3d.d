@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_interleaving-bbc3ef918ea88f3d.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/debug/deps/exp_fig8_interleaving-bbc3ef918ea88f3d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_timeline-14ae6e89316a1ad4.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/debug/deps/exp_fig9_timeline-14ae6e89316a1ad4: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

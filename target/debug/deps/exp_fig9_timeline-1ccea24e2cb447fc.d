@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_timeline-1ccea24e2cb447fc.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/debug/deps/exp_fig9_timeline-1ccea24e2cb447fc: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

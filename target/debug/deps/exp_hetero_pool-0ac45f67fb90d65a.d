@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-0ac45f67fb90d65a.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-0ac45f67fb90d65a: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hetero_pool-b2d02c12296c9997.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/debug/deps/exp_hetero_pool-b2d02c12296c9997: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

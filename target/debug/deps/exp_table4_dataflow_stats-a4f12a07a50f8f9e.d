@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-a4f12a07a50f8f9e.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-a4f12a07a50f8f9e: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-f5a409a7ce9b2b2e.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/debug/deps/exp_table4_dataflow_stats-f5a409a7ce9b2b2e: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5_index_sizes-6b052dc830aca109.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/debug/deps/exp_table5_index_sizes-6b052dc830aca109: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

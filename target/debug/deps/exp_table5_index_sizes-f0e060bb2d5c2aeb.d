@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5_index_sizes-f0e060bb2d5c2aeb.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/debug/deps/exp_table5_index_sizes-f0e060bb2d5c2aeb: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table6_speedups-993a8c9469ca0f46.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/debug/deps/exp_table6_speedups-993a8c9469ca0f46: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table6_speedups-b7051182cfdd9314.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/debug/deps/exp_table6_speedups-b7051182cfdd9314: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

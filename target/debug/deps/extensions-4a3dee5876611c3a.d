@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4a3dee5876611c3a.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4a3dee5876611c3a: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-954b83cd7d66ff72.d: crates/cloud/tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-954b83cd7d66ff72: crates/cloud/tests/fault_determinism.rs
+
+crates/cloud/tests/fault_determinism.rs:

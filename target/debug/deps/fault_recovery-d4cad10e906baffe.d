@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-d4cad10e906baffe.d: crates/core/../../tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-d4cad10e906baffe: crates/core/../../tests/fault_recovery.rs
+
+crates/core/../../tests/fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-7b67f0a057d23ad0.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-7b67f0a057d23ad0: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

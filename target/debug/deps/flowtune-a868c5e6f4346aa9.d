@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowtune-a868c5e6f4346aa9.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/debug/deps/flowtune-a868c5e6f4346aa9: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

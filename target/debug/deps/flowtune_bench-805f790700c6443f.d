@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flowtune_bench-805f790700c6443f.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/flowtune_bench-805f790700c6443f: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

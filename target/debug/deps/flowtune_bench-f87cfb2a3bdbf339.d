@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flowtune_bench-f87cfb2a3bdbf339.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-f87cfb2a3bdbf339.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libflowtune_bench-f87cfb2a3bdbf339.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_cloud-8eb5e18a53a52674.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/libflowtune_cloud-8eb5e18a53a52674.rlib: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/libflowtune_cloud-8eb5e18a53a52674.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/perturb.rs:
+crates/cloud/src/report.rs:
+crates/cloud/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flowtune_cloud-96016e77b018face.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/flowtune_cloud-96016e77b018face: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/perturb.rs:
+crates/cloud/src/report.rs:
+crates/cloud/src/sim.rs:

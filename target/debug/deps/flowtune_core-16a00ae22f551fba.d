@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flowtune_core-16a00ae22f551fba.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/debug/deps/libflowtune_core-16a00ae22f551fba.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/debug/deps/libflowtune_core-16a00ae22f551fba.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/recovery.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/tablefmt.rs:

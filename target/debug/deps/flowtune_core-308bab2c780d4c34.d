@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_core-308bab2c780d4c34.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/debug/deps/flowtune_core-308bab2c780d4c34: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/recovery.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/tablefmt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flowtune_interleave-59e96cf2052095de.d: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/debug/deps/libflowtune_interleave-59e96cf2052095de.rlib: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/debug/deps/libflowtune_interleave-59e96cf2052095de.rmeta: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+crates/interleave/src/lib.rs:
+crates/interleave/src/buildop.rs:
+crates/interleave/src/deferred.rs:
+crates/interleave/src/knapsack.rs:
+crates/interleave/src/lp.rs:
+crates/interleave/src/online.rs:

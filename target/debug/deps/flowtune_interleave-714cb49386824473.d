@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_interleave-714cb49386824473.d: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/debug/deps/flowtune_interleave-714cb49386824473: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+crates/interleave/src/lib.rs:
+crates/interleave/src/buildop.rs:
+crates/interleave/src/deferred.rs:
+crates/interleave/src/knapsack.rs:
+crates/interleave/src/lp.rs:
+crates/interleave/src/online.rs:

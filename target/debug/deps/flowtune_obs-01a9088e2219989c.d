@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flowtune_obs-01a9088e2219989c.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/flowtune_obs-01a9088e2219989c: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:

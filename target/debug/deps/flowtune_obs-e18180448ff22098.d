@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_obs-e18180448ff22098.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libflowtune_obs-e18180448ff22098.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libflowtune_obs-e18180448ff22098.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_obs-f519ae53fb91fbbe.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libflowtune_obs-f519ae53fb91fbbe.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/libflowtune_obs-f519ae53fb91fbbe.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:

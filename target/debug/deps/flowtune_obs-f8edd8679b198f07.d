@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flowtune_obs-f8edd8679b198f07.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/debug/deps/flowtune_obs-f8edd8679b198f07: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flowtune_sched-a7ba40f933116df1.d: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/debug/deps/libflowtune_sched-a7ba40f933116df1.rlib: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/debug/deps/libflowtune_sched-a7ba40f933116df1.rmeta: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/hetero.rs:
+crates/sched/src/online_lb.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/skyline.rs:
+crates/sched/src/slots.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flowtune_sched-fa9356a1952fb447.d: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/debug/deps/flowtune_sched-fa9356a1952fb447: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/hetero.rs:
+crates/sched/src/online_lb.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/skyline.rs:
+crates/sched/src/slots.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowtune_tuner-60b01bd1a1e68f22.d: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/flowtune_tuner-60b01bd1a1e68f22: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+crates/tuner/src/lib.rs:
+crates/tuner/src/adaptive.rs:
+crates/tuner/src/estimate.rs:
+crates/tuner/src/gain.rs:
+crates/tuner/src/history.rs:
+crates/tuner/src/rank.rs:
+crates/tuner/src/tuning.rs:

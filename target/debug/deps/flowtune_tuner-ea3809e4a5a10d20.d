@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flowtune_tuner-ea3809e4a5a10d20.d: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/libflowtune_tuner-ea3809e4a5a10d20.rlib: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/debug/deps/libflowtune_tuner-ea3809e4a5a10d20.rmeta: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+crates/tuner/src/lib.rs:
+crates/tuner/src/adaptive.rs:
+crates/tuner/src/estimate.rs:
+crates/tuner/src/gain.rs:
+crates/tuner/src/history.rs:
+crates/tuner/src/rank.rs:
+crates/tuner/src/tuning.rs:

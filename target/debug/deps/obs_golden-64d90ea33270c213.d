@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_golden-64d90ea33270c213.d: crates/core/../../tests/obs_golden.rs crates/core/../../tests/golden/trace_smoke.jsonl crates/core/../../tests/golden/metrics_smoke.json
+
+/root/repo/target/debug/deps/obs_golden-64d90ea33270c213: crates/core/../../tests/obs_golden.rs crates/core/../../tests/golden/trace_smoke.jsonl crates/core/../../tests/golden/metrics_smoke.json
+
+crates/core/../../tests/obs_golden.rs:
+crates/core/../../tests/golden/trace_smoke.jsonl:
+crates/core/../../tests/golden/metrics_smoke.json:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_smoke-0c2e04e98ca772c2.d: crates/core/../../tests/reproduction_smoke.rs
+
+/root/repo/target/debug/deps/reproduction_smoke-0c2e04e98ca772c2: crates/core/../../tests/reproduction_smoke.rs
+
+crates/core/../../tests/reproduction_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_pipeline-2dbede0da9b6edea.d: crates/core/../../tests/schedule_pipeline.rs
+
+/root/repo/target/debug/deps/schedule_pipeline-2dbede0da9b6edea: crates/core/../../tests/schedule_pipeline.rs
+
+crates/core/../../tests/schedule_pipeline.rs:

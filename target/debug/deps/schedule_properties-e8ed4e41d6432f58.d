@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_properties-e8ed4e41d6432f58.d: crates/sched/tests/schedule_properties.rs
+
+/root/repo/target/debug/deps/schedule_properties-e8ed4e41d6432f58: crates/sched/tests/schedule_properties.rs
+
+crates/sched/tests/schedule_properties.rs:

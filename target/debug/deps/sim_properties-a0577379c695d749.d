@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-a0577379c695d749.d: crates/cloud/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-a0577379c695d749: crates/cloud/tests/sim_properties.rs
+
+crates/cloud/tests/sim_properties.rs:

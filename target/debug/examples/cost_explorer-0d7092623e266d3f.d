@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-0d7092623e266d3f.d: crates/core/../../examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-0d7092623e266d3f: crates/core/../../examples/cost_explorer.rs
+
+crates/core/../../examples/cost_explorer.rs:

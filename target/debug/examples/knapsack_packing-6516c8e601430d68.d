@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knapsack_packing-6516c8e601430d68.d: crates/core/../../examples/knapsack_packing.rs
+
+/root/repo/target/debug/examples/knapsack_packing-6516c8e601430d68: crates/core/../../examples/knapsack_packing.rs
+
+crates/core/../../examples/knapsack_packing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/montage_pipeline-94275d668d269185.d: crates/core/../../examples/montage_pipeline.rs
+
+/root/repo/target/debug/examples/montage_pipeline-94275d668d269185: crates/core/../../examples/montage_pipeline.rs
+
+crates/core/../../examples/montage_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phase_adaptivity-a3a25d94950836ac.d: crates/core/../../examples/phase_adaptivity.rs
+
+/root/repo/target/debug/examples/phase_adaptivity-a3a25d94950836ac: crates/core/../../examples/phase_adaptivity.rs
+
+crates/core/../../examples/phase_adaptivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a3d783d0991490c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a3d783d0991490c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_adaptive_d-396fbfb1763a7cc7.d: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+/root/repo/target/release/deps/exp_ablation_adaptive_d-396fbfb1763a7cc7: crates/bench/src/bin/exp_ablation_adaptive_d.rs
+
+crates/bench/src/bin/exp_ablation_adaptive_d.rs:

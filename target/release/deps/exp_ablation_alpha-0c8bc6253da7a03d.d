@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_alpha-0c8bc6253da7a03d.d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+/root/repo/target/release/deps/exp_ablation_alpha-0c8bc6253da7a03d: crates/bench/src/bin/exp_ablation_alpha.rs
+
+crates/bench/src/bin/exp_ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_deferred-f4dbc81f0de561ff.d: crates/bench/src/bin/exp_ablation_deferred.rs
+
+/root/repo/target/release/deps/exp_ablation_deferred-f4dbc81f0de561ff: crates/bench/src/bin/exp_ablation_deferred.rs
+
+crates/bench/src/bin/exp_ablation_deferred.rs:

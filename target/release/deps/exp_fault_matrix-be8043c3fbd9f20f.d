@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fault_matrix-be8043c3fbd9f20f.d: crates/bench/src/bin/exp_fault_matrix.rs
+
+/root/repo/target/release/deps/exp_fault_matrix-be8043c3fbd9f20f: crates/bench/src/bin/exp_fault_matrix.rs
+
+crates/bench/src/bin/exp_fault_matrix.rs:

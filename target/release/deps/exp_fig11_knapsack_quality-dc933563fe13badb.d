@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11_knapsack_quality-dc933563fe13badb.d: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+/root/repo/target/release/deps/exp_fig11_knapsack_quality-dc933563fe13badb: crates/bench/src/bin/exp_fig11_knapsack_quality.rs
+
+crates/bench/src/bin/exp_fig11_knapsack_quality.rs:

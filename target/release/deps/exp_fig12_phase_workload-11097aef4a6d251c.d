@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12_phase_workload-11097aef4a6d251c.d: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+/root/repo/target/release/deps/exp_fig12_phase_workload-11097aef4a6d251c: crates/bench/src/bin/exp_fig12_phase_workload.rs
+
+crates/bench/src/bin/exp_fig12_phase_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13_adaptation-84d97c154ad61963.d: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+/root/repo/target/release/deps/exp_fig13_adaptation-84d97c154ad61963: crates/bench/src/bin/exp_fig13_adaptation.rs
+
+crates/bench/src/bin/exp_fig13_adaptation.rs:

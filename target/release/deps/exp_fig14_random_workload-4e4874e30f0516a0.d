@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14_random_workload-4e4874e30f0516a0.d: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+/root/repo/target/release/deps/exp_fig14_random_workload-4e4874e30f0516a0: crates/bench/src/bin/exp_fig14_random_workload.rs
+
+crates/bench/src/bin/exp_fig14_random_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_gain_example-a8bf14b17d49ddd7.d: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+/root/repo/target/release/deps/exp_fig3_gain_example-a8bf14b17d49ddd7: crates/bench/src/bin/exp_fig3_gain_example.rs
+
+crates/bench/src/bin/exp_fig3_gain_example.rs:

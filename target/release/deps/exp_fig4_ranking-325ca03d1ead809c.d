@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_ranking-325ca03d1ead809c.d: crates/bench/src/bin/exp_fig4_ranking.rs
+
+/root/repo/target/release/deps/exp_fig4_ranking-325ca03d1ead809c: crates/bench/src/bin/exp_fig4_ranking.rs
+
+crates/bench/src/bin/exp_fig4_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6_estimation_errors-953098a66bca9e4f.d: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+/root/repo/target/release/deps/exp_fig6_estimation_errors-953098a66bca9e4f: crates/bench/src/bin/exp_fig6_estimation_errors.rs
+
+crates/bench/src/bin/exp_fig6_estimation_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_scheduler_comparison-9c2c0d514a1c8ec8.d: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+/root/repo/target/release/deps/exp_fig7_scheduler_comparison-9c2c0d514a1c8ec8: crates/bench/src/bin/exp_fig7_scheduler_comparison.rs
+
+crates/bench/src/bin/exp_fig7_scheduler_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8_interleaving-eeb9ca56cb424142.d: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+/root/repo/target/release/deps/exp_fig8_interleaving-eeb9ca56cb424142: crates/bench/src/bin/exp_fig8_interleaving.rs
+
+crates/bench/src/bin/exp_fig8_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9_timeline-a7cc29c5ad683fa8.d: crates/bench/src/bin/exp_fig9_timeline.rs
+
+/root/repo/target/release/deps/exp_fig9_timeline-a7cc29c5ad683fa8: crates/bench/src/bin/exp_fig9_timeline.rs
+
+crates/bench/src/bin/exp_fig9_timeline.rs:

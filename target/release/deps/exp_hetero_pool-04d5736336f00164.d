@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_hetero_pool-04d5736336f00164.d: crates/bench/src/bin/exp_hetero_pool.rs
+
+/root/repo/target/release/deps/exp_hetero_pool-04d5736336f00164: crates/bench/src/bin/exp_hetero_pool.rs
+
+crates/bench/src/bin/exp_hetero_pool.rs:

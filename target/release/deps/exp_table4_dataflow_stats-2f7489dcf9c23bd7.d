@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4_dataflow_stats-2f7489dcf9c23bd7.d: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+/root/repo/target/release/deps/exp_table4_dataflow_stats-2f7489dcf9c23bd7: crates/bench/src/bin/exp_table4_dataflow_stats.rs
+
+crates/bench/src/bin/exp_table4_dataflow_stats.rs:

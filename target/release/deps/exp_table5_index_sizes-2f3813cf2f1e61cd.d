@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table5_index_sizes-2f3813cf2f1e61cd.d: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+/root/repo/target/release/deps/exp_table5_index_sizes-2f3813cf2f1e61cd: crates/bench/src/bin/exp_table5_index_sizes.rs
+
+crates/bench/src/bin/exp_table5_index_sizes.rs:

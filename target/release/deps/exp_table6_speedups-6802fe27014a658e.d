@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table6_speedups-6802fe27014a658e.d: crates/bench/src/bin/exp_table6_speedups.rs
+
+/root/repo/target/release/deps/exp_table6_speedups-6802fe27014a658e: crates/bench/src/bin/exp_table6_speedups.rs
+
+crates/bench/src/bin/exp_table6_speedups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flowtune-d5bb63ce996bb11e.d: crates/core/src/bin/flowtune.rs
+
+/root/repo/target/release/deps/flowtune-d5bb63ce996bb11e: crates/core/src/bin/flowtune.rs
+
+crates/core/src/bin/flowtune.rs:

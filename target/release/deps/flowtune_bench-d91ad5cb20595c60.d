@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flowtune_bench-d91ad5cb20595c60.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libflowtune_bench-d91ad5cb20595c60.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libflowtune_bench-d91ad5cb20595c60.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

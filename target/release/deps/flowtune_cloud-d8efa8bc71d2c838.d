@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flowtune_cloud-d8efa8bc71d2c838.d: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+/root/repo/target/release/deps/libflowtune_cloud-d8efa8bc71d2c838.rlib: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+/root/repo/target/release/deps/libflowtune_cloud-d8efa8bc71d2c838.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fault.rs crates/cloud/src/perturb.rs crates/cloud/src/report.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/perturb.rs:
+crates/cloud/src/report.rs:
+crates/cloud/src/sim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flowtune_core-7cbeae2009a9dcc6.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/release/deps/libflowtune_core-7cbeae2009a9dcc6.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+/root/repo/target/release/deps/libflowtune_core-7cbeae2009a9dcc6.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/recovery.rs crates/core/src/report.rs crates/core/src/service.rs crates/core/src/tablefmt.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/recovery.rs:
+crates/core/src/report.rs:
+crates/core/src/service.rs:
+crates/core/src/tablefmt.rs:

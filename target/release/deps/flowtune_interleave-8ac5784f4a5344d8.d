@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flowtune_interleave-8ac5784f4a5344d8.d: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/release/deps/libflowtune_interleave-8ac5784f4a5344d8.rlib: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+/root/repo/target/release/deps/libflowtune_interleave-8ac5784f4a5344d8.rmeta: crates/interleave/src/lib.rs crates/interleave/src/buildop.rs crates/interleave/src/deferred.rs crates/interleave/src/knapsack.rs crates/interleave/src/lp.rs crates/interleave/src/online.rs
+
+crates/interleave/src/lib.rs:
+crates/interleave/src/buildop.rs:
+crates/interleave/src/deferred.rs:
+crates/interleave/src/knapsack.rs:
+crates/interleave/src/lp.rs:
+crates/interleave/src/online.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flowtune_obs-95d6256a1a1fa9e3.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/release/deps/libflowtune_obs-95d6256a1a1fa9e3.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+/root/repo/target/release/deps/libflowtune_obs-95d6256a1a1fa9e3.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flowtune_sched-307676be944a4e7d.d: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/release/deps/libflowtune_sched-307676be944a4e7d.rlib: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+/root/repo/target/release/deps/libflowtune_sched-307676be944a4e7d.rmeta: crates/sched/src/lib.rs crates/sched/src/hetero.rs crates/sched/src/online_lb.rs crates/sched/src/schedule.rs crates/sched/src/skyline.rs crates/sched/src/slots.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/hetero.rs:
+crates/sched/src/online_lb.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/skyline.rs:
+crates/sched/src/slots.rs:

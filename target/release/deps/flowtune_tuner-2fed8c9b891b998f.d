@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flowtune_tuner-2fed8c9b891b998f.d: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/release/deps/libflowtune_tuner-2fed8c9b891b998f.rlib: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+/root/repo/target/release/deps/libflowtune_tuner-2fed8c9b891b998f.rmeta: crates/tuner/src/lib.rs crates/tuner/src/adaptive.rs crates/tuner/src/estimate.rs crates/tuner/src/gain.rs crates/tuner/src/history.rs crates/tuner/src/rank.rs crates/tuner/src/tuning.rs
+
+crates/tuner/src/lib.rs:
+crates/tuner/src/adaptive.rs:
+crates/tuner/src/estimate.rs:
+crates/tuner/src/gain.rs:
+crates/tuner/src/history.rs:
+crates/tuner/src/rank.rs:
+crates/tuner/src/tuning.rs:
