@@ -26,9 +26,19 @@ cargo test -q --offline -p flowtune-core --test fault_recovery
 echo "==> exp_fault_matrix --smoke"
 cargo run -q --offline --release -p flowtune-bench --bin exp_fault_matrix -- --smoke
 
+echo "==> bench_sched --smoke (scheduler perf baseline harness)"
+# Smoke-sized run into a temp dir: verifies the optimized-vs-reference
+# harness end to end (exit nonzero on any benchmark error) without
+# touching the committed full-run BENCH_sched.json baseline.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+cargo run -q --offline --release -p flowtune-bench --bin bench_sched -- \
+  --smoke --out "$bench_tmp/BENCH_sched.json"
+test -s "$bench_tmp/BENCH_sched.json"
+
 echo "==> observability golden trace (smoke)"
 obs_tmp="$(mktemp -d)"
-trap 'rm -rf "$obs_tmp"' EXIT
+trap 'rm -rf "$obs_tmp" "$bench_tmp"' EXIT
 cargo run -q --offline --release -p flowtune-core --bin flowtune -- \
   --quanta 4 --seed 1 --concurrency 1 \
   --trace-out "$obs_tmp/trace.jsonl" --metrics-out "$obs_tmp/metrics.json" \

@@ -37,6 +37,18 @@ fn fixture_findings_match_golden_list() {
         // Wall clock + env lookup; the waived SystemTime line is absent.
         ("crates/sched/src/lib.rs", 4, "determinism"),
         ("crates/sched/src/lib.rs", 9, "determinism"),
+        // The out-of-line test module fixture
+        // (crates/sched/src/equivalence_tests.rs) is wholly absent: its
+        // file-level #![cfg(test)] exempts the HashMap, Instant, and
+        // unwrap inside.
+        //
+        // Cached-state shapes of the incremental skyline search (DESIGN
+        // §5f): a hash-ordered gap cache (import + field) and a
+        // panicking cache fold; the waived cache lookup (line 19) and
+        // the #[cfg(test)] HashMap (line 27) are absent.
+        ("crates/sched/src/skyline.rs", 6, "ordered-iteration"),
+        ("crates/sched/src/skyline.rs", 9, "ordered-iteration"),
+        ("crates/sched/src/skyline.rs", 14, "panic-hygiene"),
         // HashMap import, HashMap in a signature, HashSet in a body; the
         // waived HashSet import (line 6) and the #[cfg(test)] HashMap
         // (line 28) are absent.

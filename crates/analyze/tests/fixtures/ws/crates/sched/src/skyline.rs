@@ -1,0 +1,30 @@
+//! Fixture for the scheduler's cached-state shapes (DESIGN §5f): the
+//! incremental objective caches iterate per-container state and
+//! materialize reduce survivors, so hash-ordered caches and panicking
+//! cache lookups in exactly these shapes must keep firing.
+
+use std::collections::HashMap;
+
+pub struct CachedPartial {
+    pub gap_internal: HashMap<u32, u64>,
+}
+
+impl CachedPartial {
+    pub fn idle_cached(&self) -> u64 {
+        self.gap_internal.values().copied().max().unwrap()
+    }
+
+    pub fn money_delta(&self, container: u32) -> u64 {
+        // flowtune-allow(panic-hygiene): fixture proof cache waivers work
+        *self.gap_internal.get(&container).expect("container leased")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_stay_exempt() {
+        let m: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        assert!(m.get(&0).is_none());
+    }
+}

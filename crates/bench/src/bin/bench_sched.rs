@@ -1,0 +1,252 @@
+//! Pinned scheduler perf baseline: optimized incremental skyline
+//! scheduler vs the retained pre-optimization reference.
+//!
+//! Runs both implementations on the same seeded workloads in the same
+//! process and writes `BENCH_sched.json` (schema
+//! `flowtune.bench_sched.v1`, documented in `EXPERIMENTS.md`). The
+//! committed full-run file at the repository root pins the DESIGN §5f
+//! acceptance criterion: >= 2x median speedup on the 100-op
+//! scientific-DAG `schedule()` benchmark. The golden equivalence suite
+//! in `flowtune-sched` separately proves both implementations produce
+//! byte-identical skylines, so this binary only measures time.
+//!
+//! Flags:
+//!
+//! * `--smoke` — small DAGs and few samples; exercises every code path
+//!   in seconds for CI. Smoke numbers are not a baseline.
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_sched.json` in the current directory).
+//!
+//! Exits nonzero if any benchmark fails to produce samples.
+
+use flowtune_bench::micro::{run_captured, BenchStats};
+use flowtune_common::{IndexId, OpId, SimDuration, SimRng};
+use flowtune_dataflow::{App, Dag};
+use flowtune_sched::reference::ReferenceSkylineScheduler;
+use flowtune_sched::skyline::OptionalOp;
+use flowtune_sched::{BuildRef, SchedulerConfig, SkylineScheduler};
+use std::hint::black_box;
+
+struct Comparison {
+    name: String,
+    optimized: BenchStats,
+    reference: BenchStats,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.reference.median_ns / self.optimized.median_ns
+    }
+}
+
+fn optional_ops(n: u32, seed: u64) -> Vec<OptionalOp> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| OptionalOp {
+            op: OpId(100_000 + i),
+            duration: SimDuration::from_secs(1 + rng.uniform_u64(0, 120)),
+            build: BuildRef {
+                index: IndexId(i / 4),
+                part: i % 4,
+            },
+        })
+        .collect()
+}
+
+/// Benchmark one scenario under both implementations; pushes both
+/// stats rows and the paired comparison. Returns false on a benchmark
+/// error (no samples).
+fn compare<F, G>(
+    name: &str,
+    samples: usize,
+    mut fast: F,
+    mut slow: G,
+    out: &mut Vec<Comparison>,
+    ok: &mut bool,
+) where
+    F: FnMut(),
+    G: FnMut(),
+{
+    let optimized = run_captured(&format!("sched/{name}"), samples, |b| b.iter(&mut fast));
+    let reference = run_captured(&format!("reference/{name}"), samples, |b| b.iter(&mut slow));
+    match (optimized, reference) {
+        (Some(optimized), Some(reference)) => {
+            let c = Comparison {
+                name: name.to_owned(),
+                optimized,
+                reference,
+            };
+            println!(
+                "{:<44} optimized {:>10.1} us   reference {:>10.1} us   speedup {:>5.2}x",
+                c.name,
+                c.optimized.median_ns / 1e3,
+                c.reference.median_ns / 1e3,
+                c.speedup()
+            );
+            out.push(c);
+        }
+        _ => {
+            eprintln!("error: benchmark {name} produced no samples");
+            *ok = false;
+        }
+    }
+}
+
+fn app_dag(app: App, ops: usize) -> Dag {
+    app.generate(ops, &[], &mut SimRng::seed_from_u64(1))
+}
+
+fn config(width: usize) -> SchedulerConfig {
+    SchedulerConfig {
+        max_skyline: width,
+        ..SchedulerConfig::default()
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn stats_json(s: &BenchStats) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+        s.name,
+        json_f64(s.median_ns),
+        json_f64(s.min_ns),
+        json_f64(s.max_ns),
+        s.samples
+    )
+}
+
+fn render_json(mode: &str, ops: usize, comparisons: &[Comparison]) -> String {
+    let mut benchmarks = Vec::new();
+    let mut comps = Vec::new();
+    for c in comparisons {
+        benchmarks.push(stats_json(&c.optimized));
+        benchmarks.push(stats_json(&c.reference));
+        comps.push(format!(
+            "    {{\"name\": \"{}\", \"optimized_median_ns\": {}, \"reference_median_ns\": {}, \"speedup\": {:.2}}}",
+            c.name,
+            json_f64(c.optimized.median_ns),
+            json_f64(c.reference.median_ns),
+            c.speedup()
+        ));
+    }
+    format!
+    (
+        "{{\n  \"schema\": \"flowtune.bench_sched.v1\",\n  \"mode\": \"{mode}\",\n  \"dag_ops\": {ops},\n  \"benchmarks\": [\n{}\n  ],\n  \"comparisons\": [\n{}\n  ]\n}}\n",
+        benchmarks.join(",\n"),
+        comps.join(",\n"),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = String::from("BENCH_sched.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            if let Some(p) = it.next() {
+                out_path = p.clone();
+            }
+        }
+    }
+    let (ops, opt_n, samples) = if smoke { (30, 8, 3) } else { (100, 32, 15) };
+    flowtune_bench::banner(
+        "bench_sched",
+        "DESIGN 5f: incremental skyline search vs retained reference",
+    );
+    println!(
+        "mode: {}   dag ops: {ops}   samples/bench: {samples}",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!();
+
+    let mut comparisons = Vec::new();
+    let mut ok = true;
+
+    // Headline: schedule() on each application's 100-op DAG, width 8 —
+    // the committed baseline's >= 2x criterion reads these rows.
+    for app in App::ALL {
+        let dag = app_dag(app, ops);
+        let fast = SkylineScheduler::new(config(8));
+        let slow = ReferenceSkylineScheduler::new(config(8));
+        compare(
+            &format!("schedule/{}", app.name()),
+            samples,
+            || {
+                black_box(fast.schedule(black_box(&dag)));
+            },
+            || {
+                black_box(slow.schedule(black_box(&dag)));
+            },
+            &mut comparisons,
+            &mut ok,
+        );
+    }
+
+    // Optional build operators: stresses preemption + tie-collapse.
+    {
+        let dag = app_dag(App::Montage, ops);
+        let optional = optional_ops(opt_n, 7);
+        let fast = SkylineScheduler::new(config(8));
+        let slow = ReferenceSkylineScheduler::new(config(8));
+        compare(
+            "schedule_with_optional/montage",
+            samples,
+            || {
+                black_box(fast.schedule_with_optional(black_box(&dag), black_box(&optional)));
+            },
+            || {
+                black_box(slow.schedule_with_optional(black_box(&dag), black_box(&optional)));
+            },
+            &mut comparisons,
+            &mut ok,
+        );
+    }
+
+    // Width ablation, including the once-panicking width 1.
+    {
+        let dag = app_dag(App::Montage, ops);
+        for width in [1usize, 8, 24] {
+            let fast = SkylineScheduler::new(config(width));
+            let slow = ReferenceSkylineScheduler::new(config(width));
+            compare(
+                &format!("width/{width}"),
+                samples,
+                || {
+                    black_box(fast.schedule(black_box(&dag)));
+                },
+                || {
+                    black_box(slow.schedule(black_box(&dag)));
+                },
+                &mut comparisons,
+                &mut ok,
+            );
+        }
+    }
+
+    if !ok {
+        eprintln!("error: one or more benchmarks failed");
+        std::process::exit(1);
+    }
+
+    let json = render_json(if smoke { "smoke" } else { "full" }, ops, &comparisons);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    let headline: Vec<f64> = comparisons
+        .iter()
+        .filter(|c| c.name.starts_with("schedule/"))
+        .map(Comparison::speedup)
+        .collect();
+    let min_headline = headline.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "headline schedule() speedups: min {min_headline:.2}x across {} apps",
+        headline.len()
+    );
+    println!("wrote {out_path}");
+}

@@ -39,7 +39,17 @@ impl OnlineInterleaver {
                 build: b.build,
             })
             .collect();
-        self.scheduler.schedule_with_optional(dag, &optional)
+        let skyline = self.scheduler.schedule_with_optional(dag, &optional);
+        // Mirror the LP path's offered/placed accounting so Fig. 8's
+        // online-vs-LP gap is readable straight off the metrics summary.
+        flowtune_obs::count("interleave.online_offered", optional.len() as u64);
+        let placed = skyline
+            .iter()
+            .map(|s| s.build_assignments().count())
+            .max()
+            .unwrap_or(0);
+        flowtune_obs::count("interleave.online_placed", placed as u64);
+        skyline
     }
 }
 

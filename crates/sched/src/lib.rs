@@ -13,9 +13,21 @@
 //! dependency order; ties on both objectives are broken towards the
 //! schedule with the *most sequential idle time*, because long idle
 //! slots are where index builds go.
+//!
+//! The skyline search keeps its objectives (`money`, the idle
+//! tie-break, the skeleton hash) as incrementally maintained caches and
+//! expands candidates as cheap deltas, materializing full partial
+//! schedules only for reduction survivors (DESIGN §5f). The
+//! pre-optimization implementation is retained in [`reference`]
+//! (`cfg(test)` or the `reference` cargo feature) and golden tests pin
+//! the two byte-identical.
 
+#[cfg(test)]
+mod equivalence_tests;
 pub mod hetero;
 pub mod online_lb;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod schedule;
 pub mod skyline;
 pub mod slots;

@@ -48,7 +48,11 @@ impl Assignment {
 }
 
 /// A complete execution schedule.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact over the assignment list — op ids, containers,
+/// times, build refs, *and order* — which is what the scheduler
+/// equivalence suite (DESIGN §5f) means by "byte-identical" schedules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     assignments: Vec<Assignment>,
 }

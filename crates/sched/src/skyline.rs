@@ -13,6 +13,34 @@
 //! already-used ones plus one fresh container (symmetry breaking), and
 //! the skyline is capped at [`SchedulerConfig::max_skyline`] schedules
 //! (evenly spaced along the time axis, extremes always kept).
+//!
+//! # Incremental search state (DESIGN §5f)
+//!
+//! This is the inner loop of every run, so the search state is built
+//! for cheap expansion (byte-identical to [`crate::reference`], pinned
+//! by golden tests in `equivalence_tests`):
+//!
+//! * **Cached objectives.** [`Partial::money`] carries the billed
+//!   quanta; assigning an operator changes only the touched container's
+//!   lease contribution, so the objective is a subtract/add instead of
+//!   an O(containers) rescan inside every sort comparator.
+//!   [`Partial::gap_internal`] keeps, per container, the longest idle
+//!   gap strictly before the billing tail; the idle tie-break becomes
+//!   an O(containers) fold instead of re-collecting and re-sorting all
+//!   assignments, and is memoized per candidate within one reduction.
+//! * **Delta expansion.** A candidate expansion is a [`Cand`]: parent
+//!   index plus a [`Delta`] and the already-computed objective values.
+//!   The reduction (sort, tie-collapse, dominance, width cap) runs
+//!   entirely on candidates; only the survivors — at most
+//!   `max_skyline` per step, not width × containers — are materialized
+//!   into full [`Partial`] clones. The `sched.partials_expanded` /
+//!   `sched.partial_clone_bytes` counters (vs `sched.candidates`)
+//!   record the clones this avoids.
+//! * **Split assignment lists.** Dataflow assignments are append-only
+//!   and kept apart from the preemptible optional (build) tail ops, so
+//!   preempting an optional op never rewrites dataflow history; the
+//!   final assignment order of the legacy single list is reproduced at
+//!   materialization time from each optional op's interleave position.
 
 use flowtune_common::{ContainerId, Money, OpId, SimDuration, SimTime};
 use flowtune_dataflow::Dag;
@@ -65,59 +93,107 @@ pub struct SkylineScheduler {
     pub config: SchedulerConfig,
 }
 
+/// Billed quanta for one container's dataflow span.
+fn lease_quanta(s: SimTime, e: SimTime, quantum: SimDuration) -> u64 {
+    let lease_start = s.quantum_floor(quantum);
+    let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+    (lease_end - lease_start).as_millis() / quantum.as_millis()
+}
+
 #[derive(Debug, Clone)]
-struct Partial {
-    assignments: Vec<Assignment>,
-    /// Next free time per used container.
+pub(crate) struct Partial {
+    /// Dataflow assignments, in assignment (topological-step) order.
+    /// Append-only: preemption never touches this list.
+    dataflow: Vec<Assignment>,
+    /// Surviving optional (build) assignments, each tagged with the
+    /// number of dataflow ops assigned before it was placed — its
+    /// interleave position when the final assignment list is merged.
+    /// Positions are non-decreasing along the list.
+    optional: Vec<(u32, Assignment)>,
+    /// Next free time per used container (end of its last dataflow op).
     container_free: Vec<SimTime>,
     /// Span of *dataflow* ops per container (billing basis).
     container_span: Vec<(SimTime, SimTime)>,
     /// Next free time per container counting optional (build) tail ops.
     opt_free: Vec<SimTime>,
+    /// Cache: per container, the longest idle gap strictly before the
+    /// billing tail — the head gap from the lease start to the first
+    /// dataflow op plus every gap between consecutive dataflow ops.
+    /// Established on first assignment, extended on each later one; the
+    /// tail gap (lease end − last op end) is derived on demand because
+    /// the lease end moves with the span.
+    gap_internal: Vec<SimDuration>,
     /// End time of each dataflow op assigned so far (ZERO = unassigned).
     op_end: Vec<SimTime>,
     /// Container of each dataflow op.
     op_container: Vec<u32>,
     makespan: SimDuration,
-    optional_count: usize,
+    /// Cache: total billed quanta across containers. Updated by the
+    /// touched container's lease-contribution delta on each assignment;
+    /// always equals [`Partial::money_quanta`] recomputed from spans.
+    money: u64,
     /// Order-sensitive hash of the dataflow assignments; equal hashes =>
     /// identical dataflow skeletons (optional ops excluded).
     skeleton: u64,
 }
 
 impl Partial {
-    fn new(n_ops: usize) -> Self {
+    pub(crate) fn new(n_ops: usize) -> Self {
         Partial {
-            assignments: Vec::new(),
+            dataflow: Vec::new(),
+            optional: Vec::new(),
             container_free: Vec::new(),
             container_span: Vec::new(),
             opt_free: Vec::new(),
+            gap_internal: Vec::new(),
             op_end: vec![SimTime::ZERO; n_ops],
             op_container: vec![u32::MAX; n_ops],
             makespan: SimDuration::ZERO,
-            optional_count: 0,
+            money: 0,
             skeleton: 0xcbf2_9ce4_8422_2325,
         }
     }
 
+    /// Recompute the billed quanta from the container spans — the
+    /// ground truth the cached [`Partial::money`] field must equal
+    /// (checked by tests and debug assertions).
+    ///
+    /// `e >= s` (not `>`): a container whose only ops are zero-duration
+    /// has span (s, s) but is still leased and billed one quantum. The
+    /// unused-container sentinel (MAX, ZERO) stays excluded.
+    /// `Schedule::leased_span` bills the same way, so the search's money
+    /// objective matches the reported money.
     fn money_quanta(&self, quantum: SimDuration) -> u64 {
-        // `e >= s` (not `>`): a container whose only ops are
-        // zero-duration has span (s, s) but is still leased and billed
-        // one quantum. The unused-container sentinel (MAX, ZERO) stays
-        // excluded. `Schedule::leased_span` bills the same way, so the
-        // search's money objective matches the reported money.
         self.container_span
             .iter()
             .filter(|(s, e)| e >= s)
-            .map(|(s, e)| {
-                let lease_start = s.quantum_floor(quantum);
-                let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
-                (lease_end - lease_start).as_millis() / quantum.as_millis()
-            })
+            .map(|&(s, e)| lease_quanta(s, e, quantum))
             .sum()
     }
 
-    /// Longest single idle gap across containers (tie-break criterion).
+    /// Longest single idle gap across containers (tie-break criterion)
+    /// from the incremental per-container cache: O(containers).
+    pub(crate) fn idle_cached(&self, quantum: SimDuration) -> SimDuration {
+        let mut best = SimDuration::ZERO;
+        for (c, &(s, e)) in self.container_span.iter().enumerate() {
+            if e <= s {
+                continue;
+            }
+            let lease_start = s.quantum_floor(quantum);
+            let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+            let free = self.container_free[c];
+            best = best.max(self.gap_internal[c]);
+            if lease_end > free {
+                best = best.max(lease_end - free);
+            }
+        }
+        best
+    }
+
+    /// Reference recomputation of the idle tie-break from the raw
+    /// dataflow assignments (the pre-cache algorithm); tests pin
+    /// `idle_cached` against it.
+    #[cfg(test)]
     fn longest_sequential_idle(&self, quantum: SimDuration) -> SimDuration {
         let mut best = SimDuration::ZERO;
         for (c, &(s, e)) in self.container_span.iter().enumerate() {
@@ -126,14 +202,10 @@ impl Partial {
             }
             let lease_start = s.quantum_floor(quantum);
             let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
-            // Dataflow assignments only: optional build ops are
-            // preemptible filler and must not perturb the tie-break
-            // (otherwise offering optional ops could steer the search to
-            // a different dataflow skeleton and regress the front).
             let mut ops: Vec<(SimTime, SimTime)> = self
-                .assignments
+                .dataflow
                 .iter()
-                .filter(|a| a.container.index() == c && a.build.is_none())
+                .filter(|a| a.container.index() == c)
                 .map(|a| (a.start, a.end))
                 .collect();
             ops.sort_unstable();
@@ -150,6 +222,88 @@ impl Partial {
         }
         best
     }
+
+    /// Approximate heap bytes a clone of this partial copies (for the
+    /// `sched.partial_clone_bytes` counter).
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dataflow.len() * size_of::<Assignment>()
+            + self.optional.len() * size_of::<(u32, Assignment)>()
+            + self.container_free.len()
+                * (2 * size_of::<SimTime>()
+                    + size_of::<(SimTime, SimTime)>()
+                    + size_of::<SimDuration>())
+            + self.op_end.len() * size_of::<SimTime>()
+            + self.op_container.len() * size_of::<u32>()
+    }
+
+    /// Number of surviving optional (build) assignments.
+    fn optional_count(&self) -> usize {
+        self.optional.len()
+    }
+
+    /// Number of containers leased so far.
+    #[cfg(test)]
+    pub(crate) fn containers_used(&self) -> usize {
+        self.container_free.len()
+    }
+
+    /// Merge the split assignment lists back into the legacy insertion
+    /// order: each optional op re-enters just before the dataflow op
+    /// whose index equals its recorded interleave position.
+    pub(crate) fn into_schedule(self) -> Schedule {
+        let mut out = Vec::with_capacity(self.dataflow.len() + self.optional.len());
+        let mut opts = self.optional.into_iter().peekable();
+        for (i, a) in self.dataflow.into_iter().enumerate() {
+            while let Some(&(pos, oa)) = opts.peek() {
+                if pos as usize > i {
+                    break;
+                }
+                out.push(oa);
+                opts.next();
+            }
+            out.push(a);
+        }
+        out.extend(opts.map(|(_, oa)| oa));
+        Schedule::from_assignments(out)
+    }
+}
+
+/// How a [`Cand`] differs from its parent partial.
+#[derive(Debug, Clone, Copy)]
+enum Delta {
+    /// Assign dataflow op `op` to `container` over `[start, end)`.
+    Dataflow {
+        op: OpId,
+        container: usize,
+        start: SimTime,
+        end: SimTime,
+    },
+    /// Place optional build op `op` on `container` over `[start, end)`.
+    Optional {
+        op: OptionalOp,
+        container: usize,
+        start: SimTime,
+        end: SimTime,
+    },
+    /// Keep the parent unchanged (offer-optional identity candidate).
+    Keep,
+}
+
+/// A candidate expansion: a delta against a parent partial plus the
+/// objective values reduction needs. No partial is cloned until a
+/// candidate survives the reduction.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    /// Index of the parent in the current skyline.
+    parent: usize,
+    delta: Delta,
+    makespan: SimDuration,
+    money: u64,
+    skeleton: u64,
+    optional_count: usize,
+    /// Tie-break value, memoized on first use within one reduction.
+    idle: Option<SimDuration>,
 }
 
 impl SkylineScheduler {
@@ -179,9 +333,10 @@ impl SkylineScheduler {
         // Offer optional ops evenly across the assignment steps.
         let mut next_opt = 0usize;
         for (step, &op) in order.iter().enumerate() {
-            // Expand every partial with every candidate container.
-            let mut expanded: Vec<Partial> = Vec::new();
-            for p in &skyline {
+            // Expand every partial with every candidate container —
+            // as cheap deltas, not clones.
+            let mut cands: Vec<Cand> = Vec::new();
+            for (pi, p) in skyline.iter().enumerate() {
                 let used = p.container_free.len();
                 let candidates = if (used as u32) < self.config.max_containers {
                     used + 1
@@ -189,11 +344,12 @@ impl SkylineScheduler {
                     used
                 };
                 for c in 0..candidates {
-                    expanded.push(self.assign_dataflow_op(p, dag, op, c));
+                    cands.push(self.dataflow_cand(p, pi, dag, op, c));
                 }
             }
-            let generated = expanded.len();
-            skyline = self.reduce(expanded);
+            let generated = cands.len();
+            let survivors = self.reduce(&skyline, cands);
+            skyline = self.materialize_all(&skyline, &survivors);
             flowtune_obs::obs_event!(
                 "sched.step",
                 step = step,
@@ -219,30 +375,26 @@ impl SkylineScheduler {
             skyline = self.offer_optional(skyline, &optional[next_opt]);
             next_opt += 1;
         }
-        let quantum = self.config.quantum;
-        skyline.sort_by_key(|p| (p.makespan, p.money_quanta(quantum)));
-        skyline
-            .into_iter()
-            .map(|p| Schedule::from_assignments(p.assignments))
-            .collect()
+        skyline.sort_by_key(|p| (p.makespan, p.money));
+        skyline.into_iter().map(Partial::into_schedule).collect()
     }
 
     fn transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / self.config.network_bandwidth)
     }
 
-    fn assign_dataflow_op(&self, p: &Partial, dag: &Dag, op: OpId, c: usize) -> Partial {
-        let mut q = p.clone();
-        if c == q.container_free.len() {
-            q.container_free.push(SimTime::ZERO);
-            q.container_span.push((SimTime::MAX, SimTime::ZERO));
-            q.opt_free.push(SimTime::ZERO);
-        }
+    /// Evaluate assigning `op` to container `c` of `p` without cloning
+    /// anything: placement times from the predecessor caches, money from
+    /// the touched container's lease delta, the skeleton hash folded
+    /// forward, and the optional-op count after preemption.
+    fn dataflow_cand(&self, p: &Partial, parent: usize, dag: &Dag, op: OpId, c: usize) -> Cand {
+        let quantum = self.config.quantum;
+        let fresh = c == p.container_free.len();
         // Data-ready: every predecessor done, plus transfer when remote.
         let mut ready = SimTime::ZERO;
         for &pred in dag.preds(op) {
-            let mut t = q.op_end[pred.index()];
-            if q.op_container[pred.index()] != c as u32 {
+            let mut t = p.op_end[pred.index()];
+            if p.op_container[pred.index()] != c as u32 {
                 t += self.transfer_time(dag.edge_bytes(pred, op));
             }
             ready = ready.max(t);
@@ -250,41 +402,185 @@ impl SkylineScheduler {
         // Dataflow ops see only other dataflow ops: an optional build op
         // occupying the container is preempted (priority -1 in the
         // execution model), so it never delays the dataflow.
-        let start = ready.max(q.container_free[c]);
+        let free = if fresh {
+            SimTime::ZERO
+        } else {
+            p.container_free[c]
+        };
+        let start = ready.max(free);
         let end = start + dag.op(op).runtime;
-        // Preempt optional tail ops that would overlap: drop the ones not
-        // yet started, truncation of a running one is the simulator's
-        // business (here the partial build contributes nothing).
-        q.assignments
-            .retain(|a| !(a.build.is_some() && a.container.index() == c && a.end > start));
-        q.optional_count = q.assignments.iter().filter(|a| a.build.is_some()).count();
-        q.assignments.push(Assignment {
-            op,
-            container: ContainerId(c as u32),
-            start,
-            end,
-            build: None,
-        });
-        q.container_free[c] = end;
-        q.opt_free[c] = q.opt_free[c].max(end);
-        let (s, e) = q.container_span[c];
-        q.container_span[c] = (s.min(start), e.max(end));
-        q.op_end[op.index()] = end;
-        q.op_container[op.index()] = c as u32;
-        q.makespan = q.makespan.max(end - SimTime::ZERO);
+        // Only container `c`'s lease contribution changes.
+        let money = if fresh {
+            p.money + lease_quanta(start, end, quantum)
+        } else {
+            let (s, e) = p.container_span[c];
+            p.money - lease_quanta(s, e, quantum) + lease_quanta(s.min(start), e.max(end), quantum)
+        };
+        let mut skeleton = p.skeleton;
         for word in [op.0 as u64, c as u64, start.as_millis()] {
-            q.skeleton ^= word;
-            q.skeleton = q.skeleton.wrapping_mul(0x1000_0000_01b3);
+            skeleton ^= word;
+            skeleton = skeleton.wrapping_mul(0x1000_0000_01b3);
         }
+        // Optional tail ops on `c` that this dataflow op would preempt.
+        let dropped = p
+            .optional
+            .iter()
+            .filter(|(_, a)| a.container.index() == c && a.end > start)
+            .count();
+        Cand {
+            parent,
+            delta: Delta::Dataflow {
+                op,
+                container: c,
+                start,
+                end,
+            },
+            makespan: p.makespan.max(end - SimTime::ZERO),
+            money,
+            skeleton,
+            optional_count: p.optional.len() - dropped,
+            idle: None,
+        }
+    }
+
+    /// The candidate's idle tie-break value, from the parent's
+    /// per-container caches with the touched container's entry (and a
+    /// possible fresh container) overridden — O(containers), no clone.
+    /// Optional placements and identity candidates inherit the parent's
+    /// value unchanged: the tie-break only sees dataflow ops.
+    fn cand_idle(&self, p: &Partial, delta: &Delta) -> SimDuration {
+        let quantum = self.config.quantum;
+        let (oc, ostart, oend) = match *delta {
+            Delta::Dataflow {
+                container,
+                start,
+                end,
+                ..
+            } => (container, start, end),
+            Delta::Optional { .. } | Delta::Keep => return p.idle_cached(quantum),
+        };
+        let used = p.container_free.len();
+        let total = if oc == used { used + 1 } else { used };
+        let mut best = SimDuration::ZERO;
+        for c in 0..total {
+            let (s, e, free, gap) = if c == oc {
+                if c == used {
+                    // Fresh container: head gap from the lease start.
+                    (ostart, oend, oend, ostart - ostart.quantum_floor(quantum))
+                } else {
+                    let (ps, pe) = p.container_span[c];
+                    (
+                        ps.min(ostart),
+                        pe.max(oend),
+                        oend,
+                        p.gap_internal[c].max(ostart - p.container_free[c]),
+                    )
+                }
+            } else {
+                let (ps, pe) = p.container_span[c];
+                (ps, pe, p.container_free[c], p.gap_internal[c])
+            };
+            if e <= s {
+                continue;
+            }
+            let lease_start = s.quantum_floor(quantum);
+            let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+            best = best.max(gap);
+            if lease_end > free {
+                best = best.max(lease_end - free);
+            }
+        }
+        best
+    }
+
+    /// Materialize a surviving candidate: one clone of its parent plus
+    /// the delta — the only place the search copies a partial.
+    fn materialize(&self, parent: &Partial, cand: &Cand) -> Partial {
+        flowtune_obs::count("sched.partials_expanded", 1);
+        flowtune_obs::count("sched.partial_clone_bytes", parent.heap_bytes() as u64);
+        let mut q = parent.clone();
+        match cand.delta {
+            Delta::Dataflow {
+                op,
+                container: c,
+                start,
+                end,
+            } => {
+                let fresh = c == q.container_free.len();
+                if fresh {
+                    q.container_free.push(SimTime::ZERO);
+                    q.container_span.push((SimTime::MAX, SimTime::ZERO));
+                    q.opt_free.push(SimTime::ZERO);
+                    q.gap_internal.push(SimDuration::ZERO);
+                }
+                // Extend the idle-gap cache: the gap this op leaves
+                // behind it is final (later ops start no earlier).
+                let gap = if fresh {
+                    start - start.quantum_floor(self.config.quantum)
+                } else {
+                    start - q.container_free[c]
+                };
+                q.gap_internal[c] = q.gap_internal[c].max(gap);
+                // Preempt optional tail ops that would overlap: drop the
+                // ones not yet started, truncation of a running one is
+                // the simulator's business.
+                q.optional
+                    .retain(|(_, a)| !(a.container.index() == c && a.end > start));
+                q.dataflow.push(Assignment {
+                    op,
+                    container: ContainerId(c as u32),
+                    start,
+                    end,
+                    build: None,
+                });
+                q.container_free[c] = end;
+                q.opt_free[c] = q.opt_free[c].max(end);
+                let (s, e) = q.container_span[c];
+                q.container_span[c] = (s.min(start), e.max(end));
+                q.op_end[op.index()] = end;
+                q.op_container[op.index()] = c as u32;
+            }
+            Delta::Optional {
+                op,
+                container: c,
+                start,
+                end,
+            } => {
+                q.optional.push((
+                    q.dataflow.len() as u32,
+                    Assignment {
+                        op: op.op,
+                        container: ContainerId(c as u32),
+                        start,
+                        end,
+                        build: Some(op.build),
+                    },
+                ));
+                q.opt_free[c] = end;
+            }
+            Delta::Keep => {}
+        }
+        q.makespan = cand.makespan;
+        q.money = cand.money;
+        q.skeleton = cand.skeleton;
+        debug_assert_eq!(q.money, q.money_quanta(self.config.quantum));
+        debug_assert_eq!(q.optional_count(), cand.optional_count);
         q
+    }
+
+    fn materialize_all(&self, skyline: &[Partial], survivors: &[Cand]) -> Vec<Partial> {
+        survivors
+            .iter()
+            .map(|cand| self.materialize(&skyline[cand.parent], cand))
+            .collect()
     }
 
     /// Union each partial with versions that place `opt` on some
     /// container's free tail inside the current leased span.
     fn offer_optional(&self, skyline: Vec<Partial>, opt: &OptionalOp) -> Vec<Partial> {
         let quantum = self.config.quantum;
-        let mut out = Vec::with_capacity(skyline.len() * 2);
-        for p in &skyline {
+        let mut cands: Vec<Cand> = Vec::with_capacity(skyline.len() * 2);
+        for (pi, p) in skyline.iter().enumerate() {
             for c in 0..p.container_free.len() {
                 let (s, e) = p.container_span[c];
                 if e <= s {
@@ -295,44 +591,63 @@ impl SkylineScheduler {
                 let start = p.opt_free[c].max(p.container_free[c]);
                 let end = start + opt.duration;
                 if end <= lease_end {
-                    let mut q = p.clone();
-                    q.assignments.push(Assignment {
-                        op: opt.op,
-                        container: ContainerId(c as u32),
-                        start,
-                        end,
-                        build: Some(opt.build),
+                    cands.push(Cand {
+                        parent: pi,
+                        delta: Delta::Optional {
+                            op: *opt,
+                            container: c,
+                            start,
+                            end,
+                        },
+                        makespan: p.makespan,
+                        money: p.money,
+                        skeleton: p.skeleton,
+                        optional_count: p.optional.len() + 1,
+                        idle: None,
                     });
-                    q.opt_free[c] = end;
-                    q.optional_count += 1;
-                    out.push(q);
                 }
             }
         }
-        out.extend(skyline);
-        self.reduce(out)
+        for (pi, p) in skyline.iter().enumerate() {
+            cands.push(Cand {
+                parent: pi,
+                delta: Delta::Keep,
+                makespan: p.makespan,
+                money: p.money,
+                skeleton: p.skeleton,
+                optional_count: p.optional.len(),
+                idle: None,
+            });
+        }
+        let survivors = self.reduce(&skyline, cands);
+        self.materialize_all(&skyline, &survivors)
     }
 
-    /// Skyline reduction: collapse equal (time, money) groups with the
-    /// tie-break (more operators, then most sequential idle), drop
-    /// dominated partials, cap the width.
-    fn reduce(&self, mut partials: Vec<Partial>) -> Vec<Partial> {
-        let quantum = self.config.quantum;
-        partials.sort_by_key(|p| (p.makespan, p.money_quanta(quantum)));
+    /// Skyline reduction over candidates: collapse equal (time, money)
+    /// groups with the tie-break (most sequential idle, then — between
+    /// identical dataflow skeletons — more optional operators), drop
+    /// dominated candidates, cap the width. Runs entirely on deltas;
+    /// the tie-break value is computed lazily and memoized per
+    /// candidate.
+    fn reduce(&self, skyline: &[Partial], mut cands: Vec<Cand>) -> Vec<Cand> {
+        cands.sort_by_key(|c| (c.makespan, c.money));
         // Collapse ties.
-        let mut collapsed: Vec<Partial> = Vec::new();
-        for p in partials {
+        let mut collapsed: Vec<Cand> = Vec::new();
+        for mut p in cands {
             match collapsed.last_mut() {
-                Some(last)
-                    if last.makespan == p.makespan
-                        && last.money_quanta(quantum) == p.money_quanta(quantum) =>
-                {
+                Some(last) if last.makespan == p.makespan && last.money == p.money => {
                     // Primary tie-break: most sequential idle over the
                     // dataflow skeleton (as the plain scheduler). Only
                     // between skeleton-equivalent candidates does the
                     // optional-operator count decide (§5.3.2).
-                    let p_idle = p.longest_sequential_idle(quantum);
-                    let last_idle = last.longest_sequential_idle(quantum);
+                    let (pp, pd) = (p.parent, p.delta);
+                    let p_idle = *p
+                        .idle
+                        .get_or_insert_with(|| self.cand_idle(&skyline[pp], &pd));
+                    let (lp, ld) = (last.parent, last.delta);
+                    let last_idle = *last
+                        .idle
+                        .get_or_insert_with(|| self.cand_idle(&skyline[lp], &ld));
                     let better = match p_idle.cmp(&last_idle) {
                         std::cmp::Ordering::Greater => {
                             flowtune_obs::count("sched.tiebreak_idle", 1);
@@ -361,17 +676,22 @@ impl SkylineScheduler {
             }
         }
         // Drop dominated: sorted by time asc, keep strictly decreasing money.
-        let mut front: Vec<Partial> = Vec::new();
+        let mut front: Vec<Cand> = Vec::new();
         let mut best_money = u64::MAX;
         for p in collapsed {
-            let m = p.money_quanta(quantum);
-            if m < best_money {
-                best_money = m;
+            if p.money < best_money {
+                best_money = p.money;
                 front.push(p);
             }
         }
-        // Cap width, keeping extremes and an even spread.
+        // Cap width, keeping extremes and an even spread. A cap of one
+        // keeps the fastest schedule (the even-spread index formula
+        // divides by `max_skyline - 1`).
         if front.len() > self.config.max_skyline {
+            if self.config.max_skyline <= 1 {
+                front.truncate(self.config.max_skyline);
+                return front;
+            }
             let n = front.len();
             let keep: Vec<usize> = (0..self.config.max_skyline)
                 .map(|i| i * (n - 1) / (self.config.max_skyline - 1))
@@ -388,6 +708,14 @@ impl SkylineScheduler {
             front = kept;
         }
         front
+    }
+
+    /// Test-only convenience mirroring the legacy single-shot
+    /// assignment: evaluate the candidate and materialize it.
+    #[cfg(test)]
+    pub(crate) fn assign_dataflow_op(&self, p: &Partial, dag: &Dag, op: OpId, c: usize) -> Partial {
+        let cand = self.dataflow_cand(p, 0, dag, op, c);
+        self.materialize(p, &cand)
     }
 }
 
@@ -535,6 +863,38 @@ mod tests {
     }
 
     #[test]
+    fn max_skyline_of_one_keeps_the_fastest_schedule() {
+        // Regression: the even-spread width cap divided by
+        // `max_skyline - 1` and panicked when the cap was 1.
+        let mut c = cfg();
+        c.max_skyline = 1;
+        let sched = SkylineScheduler::new(c);
+        let dag = fork_join();
+        let skyline = sched.schedule(&dag);
+        assert_eq!(skyline.len(), 1);
+        skyline[0].validate(&dag).unwrap();
+        // The time extreme survives every reduction, so the single kept
+        // schedule is the fastest: 10 + 30 + 10 = 50 s.
+        assert_eq!(skyline[0].makespan(), SimDuration::from_secs(50));
+        // Larger seeded dataflow, with and without optional ops.
+        let mut rng = SimRng::seed_from_u64(11);
+        let dag = App::Montage.generate(60, &[], &mut rng);
+        let optional: Vec<OptionalOp> = (0..8)
+            .map(|i| OptionalOp {
+                op: OpId(2000 + i),
+                duration: SimDuration::from_secs(5),
+                build: BuildRef {
+                    index: IndexId(i),
+                    part: 0,
+                },
+            })
+            .collect();
+        let skyline = sched.schedule_with_optional(&dag, &optional);
+        assert_eq!(skyline.len(), 1);
+        skyline[0].validate(&dag).unwrap();
+    }
+
+    #[test]
     fn scales_to_100_op_scientific_dataflows() {
         let sched = SkylineScheduler::new(cfg());
         let mut rng = SimRng::seed_from_u64(2);
@@ -592,6 +952,7 @@ mod tests {
         let p = sched.assign_dataflow_op(&Partial::new(1), &dag, OpId(0), 0);
         assert_eq!(p.container_free.len(), 1);
         assert_eq!(p.money_quanta(SimDuration::from_secs(60)), 1);
+        assert_eq!(p.money, 1, "cached money must bill the zero-span lease");
     }
 
     #[test]
@@ -628,12 +989,131 @@ mod tests {
                 "container leased but unbilled: {} quanta for {leased} containers",
                 p.money_quanta(quantum),
             );
-            let schedule = Schedule::from_assignments(p.assignments.clone());
+            assert_eq!(
+                p.money,
+                p.money_quanta(quantum),
+                "cached money objective drifted from the span recomputation"
+            );
+            let schedule = p.clone().into_schedule();
             assert_eq!(
                 p.money_quanta(quantum),
                 schedule.leased_quanta(quantum),
                 "search money objective disagrees with reported billing"
             );
+        }
+    }
+
+    #[test]
+    fn property_cached_state_matches_recomputation() {
+        // Random fork-ish dags scheduled through the public API *and*
+        // random manual expansion sequences: the incremental caches
+        // (money, per-container idle gaps) must always equal a from-
+        // scratch recomputation — the invariants of DESIGN §5f.
+        let sched = SkylineScheduler::new(cfg());
+        let quantum = SimDuration::from_secs(60);
+        let mut rng = SimRng::seed_from_u64(0xCACE);
+        for round in 0..50 {
+            let n = 2 + rng.uniform_u64(1, 12) as usize;
+            let ops: Vec<OpSpec> = (0..n)
+                .map(|i| op(i as u32, rng.uniform_u64(0, 40)))
+                .collect();
+            let edges: Vec<Edge> = (1..n)
+                .map(|i| Edge {
+                    from: OpId(rng.uniform_u64(0, i as u64) as u32),
+                    to: OpId(i as u32),
+                    bytes: rng.uniform_u64(0, 2) * 1_000_000,
+                })
+                .collect();
+            let dag = Dag::new(ops, edges).unwrap();
+            let mut p = Partial::new(n);
+            for i in 0..n {
+                let used = p.container_free.len();
+                let c = rng.uniform_u64(0, used as u64 + 1) as usize;
+                // The candidate's objectives must match what its
+                // materialization then caches.
+                let cand = sched.dataflow_cand(&p, 0, &dag, OpId(i as u32), c);
+                p = sched.materialize(&p, &cand);
+                assert_eq!(p.money, p.money_quanta(quantum), "round {round} step {i}");
+                assert_eq!(
+                    p.idle_cached(quantum),
+                    p.longest_sequential_idle(quantum),
+                    "idle cache drifted at round {round} step {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preemption_keeps_optional_accounting_consistent() {
+        // Seeded random expansion sequences interleaving dataflow
+        // assignments with optional offers: after `assign_dataflow_op`
+        // drops overlapping optional tails, the candidate's predicted
+        // `optional_count` and the partial's accounting must both match
+        // the surviving build assignments, and no surviving build may
+        // overlap a dataflow op on its container.
+        let sched = SkylineScheduler::new(cfg());
+        let mut rng = SimRng::seed_from_u64(0x0FF3);
+        for round in 0..30 {
+            let n = 3 + rng.uniform_u64(1, 10) as usize;
+            let ops: Vec<OpSpec> = (0..n)
+                .map(|i| op(i as u32, 5 + rng.uniform_u64(0, 50)))
+                .collect();
+            let edges: Vec<Edge> = (1..n)
+                .map(|i| Edge {
+                    from: OpId(rng.uniform_u64(0, i as u64) as u32),
+                    to: OpId(i as u32),
+                    bytes: 0,
+                })
+                .collect();
+            let dag = Dag::new(ops, edges).unwrap();
+            let mut skyline = vec![Partial::new(n)];
+            let mut opt_id = 5000u32;
+            for i in 0..n {
+                // Expand one random container choice per partial.
+                let mut next = Vec::new();
+                for p in &skyline {
+                    let used = p.container_free.len();
+                    let c = rng.uniform_u64(0, used as u64 + 1) as usize;
+                    let cand = sched.dataflow_cand(p, 0, &dag, OpId(i as u32), c);
+                    let q = sched.materialize(p, &cand);
+                    assert_eq!(
+                        cand.optional_count,
+                        q.optional_count(),
+                        "candidate preemption prediction drifted (round {round})"
+                    );
+                    next.push(q);
+                }
+                skyline = next;
+                // Randomly offer an optional op between steps.
+                if rng.uniform_u64(0, 2) == 0 {
+                    let opt = OptionalOp {
+                        op: OpId(opt_id),
+                        duration: SimDuration::from_secs(1 + rng.uniform_u64(0, 90)),
+                        build: BuildRef {
+                            index: IndexId(opt_id),
+                            part: 0,
+                        },
+                    };
+                    opt_id += 1;
+                    skyline = sched.offer_optional(skyline, &opt);
+                }
+                for p in &skyline {
+                    let schedule = p.clone().into_schedule();
+                    assert_eq!(
+                        p.optional_count(),
+                        schedule.build_assignments().count(),
+                        "optional accounting drifted (round {round})"
+                    );
+                    for (_, b) in &p.optional {
+                        for a in &p.dataflow {
+                            assert!(
+                                a.container != b.container || b.end <= a.start || a.end <= b.start,
+                                "surviving build overlaps dataflow op (round {round})"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

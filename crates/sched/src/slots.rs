@@ -154,6 +154,57 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_tie_break_cache_agrees_with_idle_slot_analysis() {
+        // The skyline scheduler's incrementally maintained tie-break
+        // value (DESIGN §5f) must agree with this module's independent
+        // from-schedule idle-slot analysis on dataflow-only schedules:
+        // two implementations, one invariant. (Durations are kept
+        // nonzero: for a container whose only ops are zero-duration the
+        // tie-break deliberately ignores the lease while the slot
+        // analysis reports it idle.)
+        use crate::skyline::SkylineScheduler;
+        use flowtune_common::SimDuration as D;
+        use flowtune_common::SimRng;
+        use flowtune_dataflow::{Dag, Edge, OpSpec};
+
+        let sched = SkylineScheduler::default();
+        let q = sched.config.quantum;
+        let mut rng = SimRng::seed_from_u64(0x51075);
+        for _ in 0..40 {
+            let n = 2 + rng.uniform_u64(1, 10) as usize;
+            let ops: Vec<OpSpec> = (0..n)
+                .map(|i| {
+                    OpSpec::new(
+                        OpId(i as u32),
+                        format!("op{i}"),
+                        D::from_secs(1 + rng.uniform_u64(0, 89)),
+                    )
+                })
+                .collect();
+            let edges: Vec<Edge> = (1..n)
+                .map(|i| Edge {
+                    from: OpId(rng.uniform_u64(0, i as u64) as u32),
+                    to: OpId(i as u32),
+                    bytes: 0,
+                })
+                .collect();
+            let dag = Dag::new(ops, edges).unwrap();
+            let mut p = crate::skyline::Partial::new(n);
+            for i in 0..n {
+                let c = rng.uniform_u64(0, p.containers_used() as u64 + 1) as usize;
+                p = sched.assign_dataflow_op(&p, &dag, OpId(i as u32), c);
+            }
+            let cached = p.idle_cached(q);
+            let schedule = p.into_schedule();
+            assert_eq!(
+                cached,
+                longest_idle_slot(&schedule, q),
+                "incremental tie-break disagrees with idle-slot analysis"
+            );
+        }
+    }
+
+    #[test]
     fn multi_container_fragmentation_sums() {
         let s = Schedule::from_assignments(vec![asg(0, 0, 0, 60), asg(1, 1, 0, 45)]);
         // c0 fully packed; c1 idle [45,60).
