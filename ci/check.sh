@@ -16,6 +16,9 @@ cargo fmt --all --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo clippy --offline --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
@@ -26,27 +29,35 @@ cargo test -q --offline -p flowtune-core --test fault_recovery
 echo "==> exp_fault_matrix --smoke"
 cargo run -q --offline --release -p flowtune-bench --bin exp_fault_matrix -- --smoke
 
+# All throwaway output from the smoke steps below lands in one scratch
+# dir owned by a single cleanup handler. (Stacking per-step
+# `trap ... EXIT` lines overwrites the previous handler and leaks the
+# earlier dirs — keep every temp path inside $scratch instead.)
+scratch="$(mktemp -d)"
+cleanup() { rm -rf "$scratch"; }
+trap cleanup EXIT
+
 echo "==> bench_sched --smoke (scheduler perf baseline harness)"
-# Smoke-sized run into a temp dir: verifies the optimized-vs-reference
-# harness end to end (exit nonzero on any benchmark error) without
-# touching the committed full-run BENCH_sched.json baseline.
-bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp"' EXIT
+# Smoke-sized run into the scratch dir: verifies the optimized-vs-
+# reference harness end to end (exit nonzero on any benchmark error)
+# without touching the committed full-run BENCH_sched.json baseline.
 cargo run -q --offline --release -p flowtune-bench --bin bench_sched -- \
-  --smoke --out "$bench_tmp/BENCH_sched.json"
-test -s "$bench_tmp/BENCH_sched.json"
+  --smoke --out "$scratch/BENCH_sched.json"
+test -s "$scratch/BENCH_sched.json"
 
 echo "==> observability golden trace (smoke)"
-obs_tmp="$(mktemp -d)"
-trap 'rm -rf "$obs_tmp" "$bench_tmp"' EXIT
 cargo run -q --offline --release -p flowtune-core --bin flowtune -- \
   --quanta 4 --seed 1 --concurrency 1 \
-  --trace-out "$obs_tmp/trace.jsonl" --metrics-out "$obs_tmp/metrics.json" \
+  --trace-out "$scratch/trace.jsonl" --metrics-out "$scratch/metrics.json" \
   > /dev/null
-diff -u tests/golden/trace_smoke.jsonl "$obs_tmp/trace.jsonl"
-diff -u tests/golden/metrics_smoke.json "$obs_tmp/metrics.json"
+diff -u tests/golden/trace_smoke.jsonl "$scratch/trace.jsonl"
+diff -u tests/golden/metrics_smoke.json "$scratch/metrics.json"
 
-echo "==> flowtune-analyze (workspace invariants)"
-cargo run -q --offline -p flowtune-analyze
+echo "==> flowtune-analyze (workspace invariants, JSON report vs baseline)"
+# The machine-readable report gates the tree against the committed
+# baseline: only findings absent from ANALYZE_baseline.json fail the
+# run, so a deliberately accepted finding never blocks CI twice.
+cargo run -q --offline -p flowtune-analyze -- \
+  --format json --baseline ANALYZE_baseline.json > "$scratch/analyze.json"
 
 echo "All checks passed."

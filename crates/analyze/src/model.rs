@@ -1,0 +1,385 @@
+//! Lightweight item model over the token stream.
+//!
+//! Not a Rust parser — just enough structure for rules to scope
+//! themselves: item boundaries (`fn` / `impl` / `mod` / `struct` /
+//! `enum` / `trait`) with line extents, and *structural* `#[cfg(test)]`
+//! scoping. The attribute is matched as a token sequence and attached to
+//! the item that follows it, whose extent is found by brace matching —
+//! so `#[cfg(test)] mod x;` covers exactly the declaration (the old
+//! per-line heuristic bled into whatever item came next), and an inner
+//! `#![cfg(test)]` marks the whole file.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Kinds of items the model tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Mod,
+    Struct,
+    Enum,
+    Trait,
+    /// `use` / `static` / `type` declarations — tracked so a
+    /// `#[cfg(test)]` gate on them covers exactly the declaration.
+    Decl,
+}
+
+impl ItemKind {
+    fn from_keyword(kw: &str) -> Option<ItemKind> {
+        Some(match kw {
+            "fn" => ItemKind::Fn,
+            "impl" => ItemKind::Impl,
+            "mod" => ItemKind::Mod,
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            "trait" => ItemKind::Trait,
+            "use" | "static" | "type" => ItemKind::Decl,
+            _ => return None,
+        })
+    }
+}
+
+/// One item: kind, best-effort name, line extent, and whether it (or an
+/// enclosing item) is gated `#[cfg(test)]`.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// First identifier after the keyword (`None` for a bare `impl`).
+    pub name: Option<String>,
+    /// 0-based line of the item keyword (or its first attribute).
+    pub start_line: usize,
+    /// 0-based line of the closing brace / semicolon (inclusive).
+    pub end_line: usize,
+    /// Nesting depth: 0 for top-level items.
+    pub depth: usize,
+    pub cfg_test: bool,
+}
+
+/// The parsed file model: a flat item list (in source order) plus the
+/// per-line `#[cfg(test)]` map the rules consume.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    pub items: Vec<Item>,
+    pub test_lines: Vec<bool>,
+}
+
+impl FileModel {
+    /// Build the model. `n_lines` bounds the `test_lines` map.
+    pub fn build(tokens: &[Token], n_lines: usize) -> FileModel {
+        let mut model = FileModel {
+            items: Vec::new(),
+            test_lines: vec![false; n_lines],
+        };
+        // Inner `#![cfg(test)]` anywhere at the top marks the whole
+        // file: how an out-of-line test-only module (declared
+        // `#[cfg(test)] mod x;` in its parent) carries its gate where a
+        // per-file scan can see it.
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].is_punct("#")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && attr_is_cfg_test(tokens, i + 2)
+            {
+                model.test_lines = vec![true; n_lines];
+                break;
+            }
+            i += 1;
+        }
+        let mut idx = 0;
+        parse_items(tokens, &mut idx, false, 0, &mut model);
+        model
+    }
+
+    /// The innermost item containing the 0-based line, if any.
+    pub fn item_at(&self, line: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.start_line <= line && line <= it.end_line)
+            .max_by_key(|it| it.depth)
+    }
+}
+
+/// Does an attribute body starting at `tokens[at]` (expected `[`) read
+/// exactly `[cfg(test)]`?
+fn attr_is_cfg_test(tokens: &[Token], at: usize) -> bool {
+    tokens.get(at).is_some_and(|t| t.is_punct("["))
+        && tokens.get(at + 1).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(at + 2).is_some_and(|t| t.is_punct("("))
+        && tokens.get(at + 3).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(at + 4).is_some_and(|t| t.is_punct(")"))
+        && tokens.get(at + 5).is_some_and(|t| t.is_punct("]"))
+}
+
+/// Skip a bracketed attribute body `[...]`; returns the index just past
+/// the closing `]`.
+fn skip_attr(tokens: &[Token], mut at: usize) -> usize {
+    debug_assert!(tokens.get(at).is_some_and(|t| t.is_punct("[")));
+    let mut depth = 0usize;
+    while at < tokens.len() {
+        if tokens[at].is_punct("[") {
+            depth += 1;
+        } else if tokens[at].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return at + 1;
+            }
+        }
+        at += 1;
+    }
+    at
+}
+
+/// Recursive-descent walk. Collects items into `model`, marking
+/// `test_lines` for any item gated (directly or by inheritance) behind
+/// `#[cfg(test)]`. `*idx` advances past everything consumed; recursion
+/// stops at the `}` that closes the enclosing item (left unconsumed for
+/// the caller).
+fn parse_items(
+    tokens: &[Token],
+    idx: &mut usize,
+    inherited_test: bool,
+    depth: usize,
+    model: &mut FileModel,
+) {
+    // Attribute state: set when `#[cfg(test)]` was seen since the last
+    // item, along with the line of the first attribute (the item's
+    // visual start).
+    let mut pending_test = false;
+    let mut attr_start: Option<usize> = None;
+
+    while *idx < tokens.len() {
+        let t = &tokens[*idx];
+        if t.is_punct("}") {
+            // Closes the enclosing item; caller consumes it.
+            return;
+        }
+        if t.is_punct("#") {
+            let line = t.line;
+            let mut j = *idx + 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1; // inner attribute — handled file-wide in build()
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+                if attr_is_cfg_test(tokens, j) {
+                    pending_test = true;
+                }
+                attr_start.get_or_insert(line);
+                *idx = skip_attr(tokens, j);
+                continue;
+            }
+            *idx += 1;
+            continue;
+        }
+        let kw = if t.kind == TokenKind::Ident {
+            ItemKind::from_keyword(&t.text)
+        } else {
+            None
+        };
+        let Some(kind) = kw else {
+            // Not an item keyword: any pending attribute belongs to a
+            // non-item (e.g. `#[derive] let`-adjacent macro soup) — keep
+            // it armed only across visibility/unsafety modifiers.
+            if t.kind == TokenKind::Ident
+                && !matches!(
+                    t.text.as_str(),
+                    "pub" | "unsafe" | "async" | "const" | "extern"
+                )
+            {
+                pending_test = false;
+                attr_start = None;
+            } else if t.is_punct("{") {
+                // Anonymous block (fn body handled below; this is e.g. a
+                // const initializer) — descend so nested `}` pairs up.
+                *idx += 1;
+                parse_items(tokens, idx, inherited_test, depth, model);
+                if *idx < tokens.len() {
+                    *idx += 1; // consume the matching `}`
+                }
+                pending_test = false;
+                attr_start = None;
+                continue;
+            }
+            *idx += 1;
+            continue;
+        };
+
+        // `struct`/`enum`/`trait`/`impl` keywords can also appear in
+        // type position (`impl Trait`); heuristic: treat as item only at
+        // statement-ish position, which this walk approximates well
+        // enough for scoping purposes.
+        let start_line = attr_start.unwrap_or(t.line);
+        let is_test = inherited_test || pending_test;
+        pending_test = false;
+        attr_start = None;
+
+        let name = tokens
+            .get(*idx + 1)
+            .filter(|n| n.kind == TokenKind::Ident)
+            .map(|n| n.text.clone());
+        *idx += 1;
+
+        // Scan to the item's body `{` or terminating `;` at bracket
+        // depth 0 (angle brackets are ignored — `<`/`>` never wrap `{`
+        // or `;` in item headers).
+        let mut paren = 0i64;
+        let mut body_start = None;
+        while *idx < tokens.len() {
+            let h = &tokens[*idx];
+            if h.is_punct("(") || h.is_punct("[") {
+                paren += 1;
+            } else if h.is_punct(")") || h.is_punct("]") {
+                paren -= 1;
+            } else if paren == 0 && h.is_punct(";") {
+                // Declaration without body (`mod x;`, trait fn, …).
+                break;
+            } else if paren == 0 && h.is_punct("{") {
+                body_start = Some(*idx);
+                break;
+            } else if paren == 0 && h.is_punct("}") {
+                // Malformed header (unbalanced close) — bail to caller.
+                model.push_item(kind, name, start_line, h.line, depth, is_test);
+                return;
+            }
+            *idx += 1;
+        }
+        let end_line = match body_start {
+            Some(open_idx) => {
+                *idx = open_idx + 1;
+                parse_items(tokens, idx, is_test, depth + 1, model);
+                let end = tokens
+                    .get(*idx)
+                    .map(|t| t.line)
+                    .unwrap_or_else(|| tokens.last().map(|t| t.line).unwrap_or(start_line));
+                if *idx < tokens.len() {
+                    *idx += 1; // consume the `}`
+                }
+                end
+            }
+            None => {
+                let end = tokens
+                    .get(*idx)
+                    .map(|t| t.line)
+                    .unwrap_or_else(|| tokens.last().map(|t| t.line).unwrap_or(start_line));
+                if *idx < tokens.len() {
+                    *idx += 1; // consume the `;`
+                }
+                end
+            }
+        };
+        model.push_item(kind, name, start_line, end_line, depth, is_test);
+    }
+}
+
+impl FileModel {
+    fn push_item(
+        &mut self,
+        kind: ItemKind,
+        name: Option<String>,
+        start_line: usize,
+        end_line: usize,
+        depth: usize,
+        cfg_test: bool,
+    ) {
+        if cfg_test {
+            for l in start_line..=end_line.min(self.test_lines.len().saturating_sub(1)) {
+                self.test_lines[l] = true;
+            }
+        }
+        self.items.push(Item {
+            kind,
+            name,
+            start_line,
+            end_line,
+            depth,
+            cfg_test,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model_of(src: &str) -> FileModel {
+        let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+        let stripped = crate::scan::strip_non_code(src);
+        let code: Vec<String> = stripped.lines().map(str::to_owned).collect();
+        FileModel::build(&lex(&code), lines.len())
+    }
+
+    #[test]
+    fn marks_cfg_test_module_body() {
+        let m =
+            model_of("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n");
+        assert_eq!(m.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn out_of_line_test_mod_covers_only_its_declaration() {
+        // The old per-line heuristic bled past the `;` into following
+        // items; the structural model stops at the declaration.
+        let m = model_of("#[cfg(test)]\nmod equivalence_tests;\npub mod hetero;\nfn f() {}\n");
+        assert_eq!(m.test_lines, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let m = model_of("//! docs\n#![cfg(test)]\nfn helper() {}\nfn t() {}\n");
+        assert_eq!(m.test_lines, vec![true; 4]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_not_cfg_test() {
+        // Conservative: only the exact `#[cfg(test)]` gate marks test
+        // code; `cfg(any(test, feature = "x"))` code also ships.
+        let m = model_of(
+            "#[cfg(any(test, feature = \"reference\"))]\nmod reference {\n fn f() {}\n}\n",
+        );
+        assert_eq!(m.test_lines, vec![false; 4]);
+    }
+
+    #[test]
+    fn items_have_kinds_names_and_extents() {
+        let m = model_of(
+            "pub struct S { x: u32 }\nimpl S {\n    pub fn get(&self) -> u32 { self.x }\n}\n",
+        );
+        let kinds: Vec<(ItemKind, Option<&str>)> = m
+            .items
+            .iter()
+            .map(|i| (i.kind, i.name.as_deref()))
+            .collect();
+        assert!(kinds.contains(&(ItemKind::Struct, Some("S"))));
+        assert!(kinds.contains(&(ItemKind::Impl, Some("S"))));
+        let f = m
+            .items
+            .iter()
+            .find(|i| i.kind == ItemKind::Fn && i.name.as_deref() == Some("get"))
+            .expect("fn item");
+        assert_eq!((f.start_line, f.end_line, f.depth), (2, 2, 1));
+    }
+
+    #[test]
+    fn nested_items_inherit_test_gate() {
+        let m = model_of(
+            "#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n",
+        );
+        assert!(m.test_lines.iter().take(6).all(|&b| b));
+        assert!(m.items.iter().all(|i| i.cfg_test));
+    }
+
+    #[test]
+    fn attribute_line_counts_as_item_start() {
+        let m = model_of("fn a() {}\n#[cfg(test)]\n#[derive(Debug)]\nstruct T;\nfn b() {}\n");
+        assert_eq!(m.test_lines, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn item_at_returns_innermost() {
+        let m = model_of("mod outer {\n    fn inner() {\n        let x = 1;\n    }\n}\n");
+        let item = m.item_at(2).expect("line inside fn");
+        assert_eq!(item.kind, ItemKind::Fn);
+        assert_eq!(item.name.as_deref(), Some("inner"));
+    }
+}

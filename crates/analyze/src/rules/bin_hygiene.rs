@@ -1,0 +1,72 @@
+//! Rule `bin-hygiene`: every `exp_*` experiment binary in
+//! `flowtune-bench` must wire the shared harness plumbing:
+//!
+//! * `flowtune_bench::obs_guard()` — parses `--trace-out` /
+//!   `--metrics-out` and writes the recorded trace/metrics on exit, so
+//!   any experiment can seed `BENCH_*.json` without bespoke glue;
+//! * `--smoke` — a CI-sized run (via `flowtune_bench::smoke()` or a
+//!   hand-rolled flag check), so `ci/check.sh` can exercise the binary
+//!   without a full paper-scale horizon.
+//!
+//! An experiment missing either silently opts out of observability or
+//! of CI coverage; both have been sources of drift.
+
+use super::{Emitter, Rule};
+use crate::scan::{FileKind, SourceFile};
+use crate::workspace::CrateInfo;
+
+#[derive(Debug)]
+pub struct BinHygiene;
+
+impl Rule for BinHygiene {
+    fn name(&self) -> &'static str {
+        "bin-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "exp_* binaries must wire obs_guard() and accept --smoke"
+    }
+
+    fn check_file(&self, krate: &CrateInfo, file: &SourceFile, em: &mut Emitter<'_>) {
+        if krate.name != "flowtune-bench" || file.kind != FileKind::Bin {
+            return;
+        }
+        let stem = file.rel.rsplit('/').next().unwrap_or(&file.rel);
+        if !stem.starts_with("exp_") {
+            return;
+        }
+        let line = main_line(file);
+        if !file.tokens.iter().any(|t| t.is_ident("obs_guard")) {
+            em.emit(
+                file,
+                line,
+                "experiment binary never calls flowtune_bench::obs_guard(); \
+                 --trace-out/--metrics-out are dead flags here"
+                    .to_owned(),
+            );
+        }
+        let accepts_smoke = file.tokens.iter().any(|t| t.is_ident("smoke"))
+            || file.raw_lines.iter().any(|l| l.contains("--smoke"));
+        if !accepts_smoke {
+            em.emit(
+                file,
+                line,
+                "experiment binary does not accept --smoke; wire \
+                 flowtune_bench::smoke() so CI can run a short horizon"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// The line of `fn main` — the natural anchor (and waiver point) for a
+/// whole-binary finding. Falls back to the first line.
+fn main_line(file: &SourceFile) -> usize {
+    let toks = &file.tokens;
+    for at in 0..toks.len().saturating_sub(1) {
+        if toks[at].is_ident("fn") && toks[at + 1].is_ident("main") {
+            return toks[at].line;
+        }
+    }
+    0
+}

@@ -7,7 +7,7 @@
 //! examples, or `#[cfg(test)]` modules.
 
 use super::{Emitter, Rule};
-use crate::scan::{contains_token, FileKind};
+use crate::scan::FileKind;
 use crate::workspace::{CrateInfo, Dep};
 
 #[derive(Debug)]
@@ -50,19 +50,20 @@ impl Rule for DepHygiene {
     }
 }
 
-/// Does any relevant line reference the dependency's crate identifier?
+/// Does any relevant token reference the dependency's crate identifier?
 ///
-/// For normal deps every line counts; for dev-deps only test targets and
-/// `#[cfg(test)]` regions count (a dev-dep referenced from shipping code
-/// would be an undeclared real dependency, which cargo itself rejects).
+/// For normal deps every token counts; for dev-deps only test targets
+/// and `#[cfg(test)]` regions count (a dev-dep referenced from shipping
+/// code would be an undeclared real dependency, which cargo itself
+/// rejects).
 fn used_anywhere(krate: &CrateInfo, dep: &Dep, dev: bool) -> bool {
     let ident = dep.name.replace('-', "_");
     krate.files.iter().any(|file| {
-        file.code_lines.iter().enumerate().any(|(idx, code)| {
-            if dev && file.kind != FileKind::Test && !file.is_test_line(idx) {
+        file.tokens.iter().any(|tok| {
+            if dev && file.kind != FileKind::Test && !file.is_test_line(tok.line) {
                 return false;
             }
-            contains_token(code, &ident)
+            tok.is_ident(&ident)
         })
     })
 }

@@ -9,8 +9,11 @@
 //! - `crates/bench/` is measurement tooling, not simulation;
 //! - `crates/analyze/` is this tool.
 
+use std::collections::BTreeSet;
+
 use super::{Emitter, Rule};
-use crate::scan::{contains_token, SourceFile};
+use crate::lexer::path_matches;
+use crate::scan::SourceFile;
 use crate::workspace::CrateInfo;
 
 /// Workspace-relative path prefixes exempt from this rule.
@@ -20,8 +23,9 @@ const ALLOWED_PREFIXES: &[&str] = &[
     "crates/analyze/",
 ];
 
-/// Banned tokens and what to use instead.
-const BANNED: &[(&str, &str)] = &[
+/// Banned identifiers and what to use instead. These match anywhere in
+/// a path (`std::time::Instant` and a bare `Instant` both count).
+const BANNED_IDENTS: &[(&str, &str)] = &[
     (
         "thread_rng",
         "seed a SimRng from the experiment config instead of ambient entropy",
@@ -42,11 +46,13 @@ const BANNED: &[(&str, &str)] = &[
         "SystemTime",
         "wall-clock time is nondeterministic; use SimTime driven by the event loop",
     ),
-    (
-        "std::env",
-        "environment lookups make runs host-dependent; thread config through ExperimentConfig",
-    ),
 ];
+
+/// Banned `::`-paths, matched from their first segment.
+const BANNED_PATHS: &[(&str, &str)] = &[(
+    "std::env",
+    "environment lookups make runs host-dependent; thread config through ExperimentConfig",
+)];
 
 #[derive(Debug)]
 pub struct Determinism;
@@ -64,15 +70,21 @@ impl Rule for Determinism {
         if ALLOWED_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
             return;
         }
-        for (idx, code) in file.code_lines.iter().enumerate() {
-            if file.is_test_line(idx) {
+        // One finding per (line, banned token) — `SystemTime` twice on a
+        // line is one diagnostic, as with the old per-line matcher.
+        let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (at, tok) in file.tokens.iter().enumerate() {
+            if file.is_test_line(tok.line) {
                 continue;
             }
-            for (token, hint) in BANNED {
-                // `Instant` bans both the import and the call site; the
-                // word-boundary match keeps `instant`-like identifiers safe.
-                if contains_token(code, token) {
-                    em.emit(file, idx, format!("banned `{token}`: {hint}"));
+            for (ident, hint) in BANNED_IDENTS {
+                if tok.is_ident(ident) && seen.insert((tok.line, ident)) {
+                    em.emit(file, tok.line, format!("banned `{ident}`: {hint}"));
+                }
+            }
+            for (path, hint) in BANNED_PATHS {
+                if path_matches(&file.tokens, at, path) && seen.insert((tok.line, path)) {
+                    em.emit(file, tok.line, format!("banned `{path}`: {hint}"));
                 }
             }
         }

@@ -1,0 +1,114 @@
+//! Rule `golden-coverage`: the committed goldens under `tests/golden/`
+//! and the code that diffs against them must reference each other both
+//! ways. An orphan golden (no test or `ci/check.sh` step reads it)
+//! rots silently — it pins nothing — and a dangling reference (a test
+//! naming a golden that doesn't exist) fails only at runtime, usually
+//! in CI. The rule scans test targets and the check script for
+//! `tests/golden/<name>` path literals and cross-checks the directory
+//! listing.
+
+use super::{Emitter, Rule};
+use crate::scan::FileKind;
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+#[derive(Debug)]
+pub struct GoldenCoverage;
+
+impl Rule for GoldenCoverage {
+    fn name(&self) -> &'static str {
+        "golden-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "tests/golden files and their test/ci references must match both ways"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, em: &mut Emitter<'_>) {
+        // All referenced paths, plus where each reference lives.
+        let mut referenced: BTreeSet<String> = BTreeSet::new();
+        for krate in &ws.crates {
+            for file in &krate.files {
+                if file.kind != FileKind::Test {
+                    continue;
+                }
+                for (idx, raw) in file.raw_lines.iter().enumerate() {
+                    for path in refs_in_line(raw) {
+                        if ws.golden(&path).is_none() {
+                            em.emit(
+                                file,
+                                idx,
+                                format!("referenced golden `{path}` does not exist"),
+                            );
+                        }
+                        referenced.insert(path);
+                    }
+                }
+            }
+        }
+        if let Some(script) = &ws.check_script {
+            for (idx, raw) in script.text.lines().enumerate() {
+                for path in refs_in_line(raw) {
+                    if ws.golden(&path).is_none() {
+                        em.emit_raw(
+                            script.rel.clone(),
+                            idx + 1,
+                            format!("referenced golden `{path}` does not exist"),
+                        );
+                    }
+                    referenced.insert(path);
+                }
+            }
+        }
+
+        for golden in &ws.goldens {
+            if !referenced.contains(&golden.rel) {
+                em.emit_raw(
+                    golden.rel.clone(),
+                    1,
+                    "golden file is not referenced by any test or ci/check.sh; \
+                     it pins nothing"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// Every `tests/golden/<path>` occurrence in one line of raw text.
+fn refs_in_line(line: &str) -> Vec<String> {
+    const PREFIX: &str = "tests/golden/";
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(at) = rest.find(PREFIX) {
+        let tail = &rest[at + PREFIX.len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '/')))
+            .unwrap_or(tail.len());
+        if end > 0 {
+            out.push(format!("{PREFIX}{}", &tail[..end]));
+        }
+        rest = &rest[at + PREFIX.len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_path_references() {
+        assert_eq!(
+            refs_in_line(r#"let p = root.join("tests/golden/metrics_smoke.json");"#),
+            ["tests/golden/metrics_smoke.json"]
+        );
+        assert_eq!(
+            refs_in_line("diff tests/golden/a.json tests/golden/b.jsonl"),
+            ["tests/golden/a.json", "tests/golden/b.jsonl"]
+        );
+        // A bare directory mention is not a file reference.
+        assert!(refs_in_line("ls tests/golden/ | wc -l").is_empty());
+        assert!(refs_in_line("no goldens here").is_empty());
+    }
+}

@@ -2,18 +2,25 @@
 //! `flowtune-common` (`Money`, `SimTime`, `Quanta`) precisely so that
 //! dollars never add to seconds. A raw `f64` annotated binding or field
 //! whose name says it holds money or time re-opens that hole. The rule
-//! is an identifier heuristic: it flags `name: f64` where `name`
-//! contains a money/time word, outside `flowtune-common` itself (which
-//! defines the newtypes and their internals).
+//! is an identifier heuristic: it flags the token sequence
+//! `name : f64` where `name` contains a money/time word, outside
+//! `flowtune-common` itself (which defines the newtypes and their
+//! internals).
 
 use super::{Emitter, Rule};
 use crate::scan::{FileKind, SourceFile};
 use crate::workspace::CrateInfo;
 
 /// Identifier fragments that mark a quantity as money or time.
-const QUANTITY_WORDS: &[&str] = &[
+pub(crate) const QUANTITY_WORDS: &[&str] = &[
     "cost", "price", "money", "dollar", "budget", "quanta", "time",
 ];
+
+/// Does this identifier look like it names a money/time quantity?
+pub(crate) fn is_quantity_ident(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    QUANTITY_WORDS.iter().any(|w| lower.contains(w))
+}
 
 /// Crates exempt from the rule: `flowtune-common` defines the newtypes;
 /// the analyzer has no money/time quantities.
@@ -35,77 +42,71 @@ impl Rule for NewtypeDiscipline {
         if EXEMPT_CRATES.contains(&krate.name.as_str()) || file.kind == FileKind::Test {
             return;
         }
-        for (idx, code) in file.code_lines.iter().enumerate() {
-            if file.is_test_line(idx) {
+        let toks = &file.tokens;
+        for at in 0..toks.len().saturating_sub(2) {
+            // The annotation form: `ident : f64` (binding, field, or
+            // parameter). `as f64` and `Vec<f64>` have no colon.
+            if !(toks[at].kind == crate::lexer::TokenKind::Ident
+                && toks[at + 1].is_punct(":")
+                && toks[at + 2].is_ident("f64"))
+            {
                 continue;
             }
-            for ident in f64_annotated_idents(code) {
-                let lower = ident.to_ascii_lowercase();
-                if QUANTITY_WORDS.iter().any(|w| lower.contains(w)) {
-                    em.emit(
-                        file,
-                        idx,
-                        format!(
-                            "`{ident}: f64` looks like a money/time quantity; \
-                             use Money, SimTime, or Quanta from flowtune-common"
-                        ),
-                    );
-                }
+            let line = toks[at].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            let ident = &toks[at].text;
+            if is_quantity_ident(ident) {
+                em.emit(
+                    file,
+                    line,
+                    format!(
+                        "`{ident}: f64` looks like a money/time quantity; \
+                         use Money, SimTime, or Quanta from flowtune-common"
+                    ),
+                );
             }
         }
     }
-}
-
-/// Identifiers annotated `ident: f64` on this line (bindings, fields, or
-/// parameters — anywhere the annotation form appears).
-fn f64_annotated_idents(code: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut search = 0;
-    while let Some(pos) = code[search..].find("f64") {
-        let abs = search + pos;
-        search = abs + 3;
-        // Must be the token `f64`, not e.g. `uf64`.
-        let after = code[abs + 3..].chars().next();
-        if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
-            continue;
-        }
-        let before = &code[..abs];
-        let before_trim = before.trim_end();
-        let Some(rest) = before_trim.strip_suffix(':') else {
-            continue;
-        };
-        let rest = rest.trim_end();
-        let ident: String = rest
-            .chars()
-            .rev()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect::<String>()
-            .chars()
-            .rev()
-            .collect();
-        if !ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-            out.push(ident);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
+
+    fn annotated_quantity_idents(code: &str) -> Vec<String> {
+        let lines: Vec<String> = code.lines().map(str::to_owned).collect();
+        let toks = lex(&lines);
+        let mut out = Vec::new();
+        for at in 0..toks.len().saturating_sub(2) {
+            if toks[at].kind == crate::lexer::TokenKind::Ident
+                && toks[at + 1].is_punct(":")
+                && toks[at + 2].is_ident("f64")
+                && is_quantity_ident(&toks[at].text)
+            {
+                out.push(toks[at].text.clone());
+            }
+        }
+        out
+    }
 
     #[test]
     fn extracts_annotated_idents() {
         assert_eq!(
-            f64_annotated_idents("let build_cost: f64 = 3.0;"),
+            annotated_quantity_idents("let build_cost: f64 = 3.0;"),
             ["build_cost"]
         );
         assert_eq!(
-            f64_annotated_idents("fn f(price_per_hour: f64, n: u64)"),
+            annotated_quantity_idents("fn f(price_per_hour: f64, n: u64)"),
             ["price_per_hour"]
         );
-        assert_eq!(f64_annotated_idents("pub total_time: f64,"), ["total_time"]);
-        assert!(f64_annotated_idents("let x = y as f64;").is_empty());
-        assert!(f64_annotated_idents("Vec<f64>").is_empty());
+        assert_eq!(
+            annotated_quantity_idents("pub total_time: f64,"),
+            ["total_time"]
+        );
+        assert!(annotated_quantity_idents("let cost = time as f64;").is_empty());
+        assert!(annotated_quantity_idents("cost_curve: Vec<f64>").is_empty());
     }
 }

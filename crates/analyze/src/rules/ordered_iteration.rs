@@ -6,8 +6,10 @@
 //! collections outright, steering to `BTreeMap`/`BTreeSet` (or a sorted
 //! `Vec`); genuinely order-free uses can carry a waiver.
 
+use std::collections::BTreeSet;
+
 use super::{Emitter, Rule};
-use crate::scan::{contains_token, FileKind, SourceFile};
+use crate::scan::{FileKind, SourceFile};
 use crate::workspace::CrateInfo;
 
 /// Crates whose state feeds schedules, costs, or reports.
@@ -38,15 +40,16 @@ impl Rule for OrderedIteration {
         if !ORDERED_CRATES.contains(&krate.name.as_str()) || file.kind == FileKind::Test {
             return;
         }
-        for (idx, code) in file.code_lines.iter().enumerate() {
-            if file.is_test_line(idx) {
+        let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for tok in &file.tokens {
+            if file.is_test_line(tok.line) {
                 continue;
             }
             for token in BANNED {
-                if contains_token(code, token) {
+                if tok.is_ident(token) && seen.insert((tok.line, token)) {
                     em.emit(
                         file,
-                        idx,
+                        tok.line,
                         format!(
                             "`{token}` iteration order is unspecified and can leak into \
                              schedules/reports; use BTree{} or a sorted Vec",

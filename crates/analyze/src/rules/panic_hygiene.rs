@@ -9,11 +9,13 @@
 //! files are exempt: asserting and fast-failing is idiomatic there.
 
 use super::{Emitter, Rule};
+use crate::lexer::Token;
 use crate::scan::{FileKind, SourceFile};
 use crate::workspace::CrateInfo;
 
-/// The core library crates the rule protects.
-const CORE_CRATES: &[&str] = &[
+/// The core library crates the rule protects (also reused by
+/// cast-discipline, which guards the same shipping code).
+pub(crate) const CORE_CRATES: &[&str] = &[
     "flowtune-common",
     "flowtune-storage",
     "flowtune-index",
@@ -27,32 +29,48 @@ const CORE_CRATES: &[&str] = &[
     "flowtune-obs",
 ];
 
-/// Substring patterns (matched on the comment/string-stripped view).
-const BANNED: &[(&str, &str)] = &[
-    (
-        ".unwrap()",
-        "return Result via flowtune_common::error, or waive with the invariant",
-    ),
-    (
-        ".expect(",
-        "return Result via flowtune_common::error, or waive with the invariant",
-    ),
-    (
-        "panic!(",
-        "return an Error instead of tearing down the simulation",
-    ),
-    (
-        "todo!(",
-        "unimplemented paths must not ship in library code",
-    ),
-    (
-        "unimplemented!(",
-        "unimplemented paths must not ship in library code",
-    ),
-];
-
 #[derive(Debug)]
 pub struct PanicHygiene;
+
+/// Does a banned construct start at `tokens[at]`? Returns the display
+/// name and the hint. Matching on tokens (not substrings) means
+/// `dont_panic!(…)` or `x.unwrap_or(0)` can never fire.
+fn banned_at(tokens: &[Token], at: usize) -> Option<(&'static str, &'static str)> {
+    const RESULT_HINT: &str =
+        "return Result via flowtune_common::error, or waive with the invariant";
+    const PANIC_HINT: &str = "return an Error instead of tearing down the simulation";
+    const TODO_HINT: &str = "unimplemented paths must not ship in library code";
+    let t = |i: usize| tokens.get(at + i);
+    // `.unwrap()` — the full nullary call.
+    if t(0).is_some_and(|t| t.is_punct("."))
+        && t(1).is_some_and(|t| t.is_ident("unwrap"))
+        && t(2).is_some_and(|t| t.is_punct("("))
+        && t(3).is_some_and(|t| t.is_punct(")"))
+    {
+        return Some((".unwrap", RESULT_HINT));
+    }
+    // `.expect(…)`.
+    if t(0).is_some_and(|t| t.is_punct("."))
+        && t(1).is_some_and(|t| t.is_ident("expect"))
+        && t(2).is_some_and(|t| t.is_punct("("))
+    {
+        return Some((".expect", RESULT_HINT));
+    }
+    // Macro invocations: `panic!(`, `todo!(`, `unimplemented!(`.
+    for (name, display, hint) in [
+        ("panic", "panic!", PANIC_HINT),
+        ("todo", "todo!", TODO_HINT),
+        ("unimplemented", "unimplemented!", TODO_HINT),
+    ] {
+        if t(0).is_some_and(|t| t.is_ident(name))
+            && t(1).is_some_and(|t| t.is_punct("!"))
+            && t(2).is_some_and(|t| t.is_punct("("))
+        {
+            return Some((display, hint));
+        }
+    }
+    None
+}
 
 impl Rule for PanicHygiene {
     fn name(&self) -> &'static str {
@@ -67,16 +85,18 @@ impl Rule for PanicHygiene {
         if !CORE_CRATES.contains(&krate.name.as_str()) || file.kind != FileKind::Lib {
             return;
         }
-        for (idx, code) in file.code_lines.iter().enumerate() {
-            if file.is_test_line(idx) {
+        let mut seen: std::collections::BTreeSet<(usize, &'static str)> = Default::default();
+        for at in 0..file.tokens.len() {
+            let Some((what, hint)) = banned_at(&file.tokens, at) else {
+                continue;
+            };
+            // Attribute the finding to the line of the named token (the
+            // ident after a leading `.`), and dedupe per (line, kind).
+            let line = file.tokens[at + usize::from(what.starts_with('.'))].line;
+            if file.is_test_line(line) || !seen.insert((line, what)) {
                 continue;
             }
-            for (pat, hint) in BANNED {
-                if code.contains(pat) {
-                    let what = pat.trim_end_matches('(').trim_end_matches("()");
-                    em.emit(file, idx, format!("`{what}` in library code: {hint}"));
-                }
-            }
+            em.emit(file, line, format!("`{what}` in library code: {hint}"));
         }
     }
 }

@@ -1,0 +1,39 @@
+//! Rule `waiver-audit`: a `flowtune-allow(rule)` waiver is a standing
+//! exception, and standing exceptions rot. The audit flags three
+//! shapes:
+//!
+//! * **stale** — the waived rule no longer fires on the covered lines,
+//!   so the waiver hides nothing and should be deleted before it masks
+//!   a future regression;
+//! * **unknown rule** — the waiver names a rule the analyzer doesn't
+//!   have (usually a typo, which means the *intended* waiver is dead);
+//! * **missing reason** — a waiver without a `: why` clause never
+//!   suppressed anything (scan.rs requires the reason), so it is pure
+//!   noise.
+//!
+//! The checks need the full run's suppression record (which waivers
+//! were actually consumed), so the logic lives in the engine
+//! ([`crate::check`]) as a post-pass over
+//! [`crate::rules::Sink::used_waivers`]; this type exists so the rule
+//! is listed, filterable, and documented like any other.
+//!
+//! Findings are `warn` severity: a stale waiver is debt, not breakage.
+
+use super::{Rule, Severity};
+
+#[derive(Debug)]
+pub struct WaiverAudit;
+
+impl Rule for WaiverAudit {
+    fn name(&self) -> &'static str {
+        "waiver-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "flag stale, unknown-rule, and reason-less flowtune-allow waivers"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+}

@@ -1,17 +1,23 @@
 //! Source loading and lexical preprocessing.
 //!
-//! The analyzer is deliberately *not* a parser: rules match tokens on a
-//! per-line basis over a "code view" of each file in which comments,
-//! string literals, and char literals have been blanked out. That keeps
-//! the engine dependency-free (no `syn`) while eliminating the classic
-//! grep false positives (a banned token inside a doc comment or a log
+//! The analyzer is deliberately *not* a parser: rules match the token
+//! stream of a "code view" of each file in which comments, string
+//! literals, and char literals have been blanked out. That keeps the
+//! engine dependency-free (no `syn`) while eliminating the classic grep
+//! false positives (a banned token inside a doc comment or a log
 //! message). The stripping pass is a small character-level state machine
 //! that understands nested block comments, escape sequences, raw strings
-//! (`r"…"`, `r#"…"#`), byte strings, and the char-literal/lifetime
-//! ambiguity.
+//! (`r"…"`, `r#"…"#`), byte strings/chars, and the char-literal/lifetime
+//! ambiguity. A second "comment view" produced by the same pass keeps
+//! *only* the text of plain `//` comments — the one place a
+//! `flowtune-allow` waiver may legally live — so waivers quoted in doc
+//! comments or string literals are no longer collected as real.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token};
+use crate::model::FileModel;
 
 /// Which compilation target a file belongs to — rules scope themselves
 /// by kind (e.g. panic hygiene applies to library code only).
@@ -26,8 +32,23 @@ pub enum FileKind {
     Test,
 }
 
-/// A loaded source file: raw text for waiver detection, stripped text
-/// for rule matching, and a per-line map of `#[cfg(test)]` regions.
+/// One `flowtune-allow(<rule>)` declaration found in a plain comment.
+///
+/// The engine's stale-waiver audit consumes these: a declaration whose
+/// covered lines never suppressed a finding for its rule is itself a
+/// diagnostic.
+#[derive(Debug, Clone)]
+pub struct WaiverDecl {
+    pub rule: String,
+    /// 0-based line the waiver comment sits on.
+    pub line: usize,
+    /// Whether the mandatory `: <reason>` was present. Reason-less
+    /// waivers suppress nothing.
+    pub has_reason: bool,
+}
+
+/// A loaded source file: raw text, stripped code view, token stream,
+/// item model, and the waivers declared in its comments.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Absolute path on disk.
@@ -35,33 +56,51 @@ pub struct SourceFile {
     /// Path relative to the scanned workspace root, `/`-separated.
     pub rel: String,
     pub kind: FileKind,
-    /// Original lines (comments intact) — waivers live here.
+    /// Original lines (comments intact).
     pub raw_lines: Vec<String>,
     /// Lines with comments/strings/chars blanked to spaces.
     pub code_lines: Vec<String>,
-    /// `true` for lines inside a `#[cfg(test)]` item.
+    /// Token stream over `code_lines` (tokens never span lines).
+    pub tokens: Vec<Token>,
+    /// Item model: fn/impl/mod boundaries and structural `#[cfg(test)]`
+    /// scoping derived from the token stream.
+    pub model: FileModel,
+    /// `true` for lines inside a `#[cfg(test)]` item (from the model).
     pub test_lines: Vec<bool>,
-    /// rule name -> 0-based line indices waived for that rule.
-    waivers: BTreeMap<String, BTreeSet<usize>>,
+    /// Every waiver declaration, in source order (reasoned or not).
+    pub waiver_decls: Vec<WaiverDecl>,
+    /// rule name -> covered 0-based line -> declaring lines.
+    waivers: BTreeMap<String, BTreeMap<usize, Vec<usize>>>,
 }
 
 impl SourceFile {
     pub fn load(path: &Path, rel: String, kind: FileKind) -> std::io::Result<SourceFile> {
         let text = std::fs::read_to_string(path)?;
-        let stripped = strip_non_code(&text);
+        Ok(SourceFile::from_text(&text, path.to_path_buf(), rel, kind))
+    }
+
+    /// Build a `SourceFile` from in-memory text (also used by tests).
+    pub fn from_text(text: &str, path: PathBuf, rel: String, kind: FileKind) -> SourceFile {
+        let views = strip_views(text);
         let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
-        let code_lines: Vec<String> = stripped.lines().map(str::to_owned).collect();
-        let test_lines = mark_test_regions(&code_lines);
-        let waivers = collect_waivers(&raw_lines);
-        Ok(SourceFile {
-            path: path.to_path_buf(),
+        let code_lines: Vec<String> = views.code.lines().map(str::to_owned).collect();
+        let comment_lines: Vec<String> = views.comment.lines().map(str::to_owned).collect();
+        let tokens = lex(&code_lines);
+        let model = FileModel::build(&tokens, raw_lines.len());
+        let test_lines = model.test_lines.clone();
+        let (waivers, waiver_decls) = collect_waivers(&comment_lines);
+        SourceFile {
+            path,
             rel,
             kind,
             raw_lines,
             code_lines,
+            tokens,
+            model,
             test_lines,
+            waiver_decls,
             waivers,
-        })
+        }
     }
 
     /// Is the given 0-based line waived for `rule`? A waiver comment
@@ -71,7 +110,16 @@ impl SourceFile {
     pub fn is_waived(&self, rule: &str, line_idx: usize) -> bool {
         self.waivers
             .get(rule)
-            .is_some_and(|s| s.contains(&line_idx))
+            .is_some_and(|m| m.contains_key(&line_idx))
+    }
+
+    /// 0-based lines of the waiver declarations covering `line_idx` for
+    /// `rule` (empty when the line is not waived).
+    pub fn waiver_decl_lines(&self, rule: &str, line_idx: usize) -> &[usize] {
+        self.waivers
+            .get(rule)
+            .and_then(|m| m.get(&line_idx))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Convenience: is this line library (non-test) code?
@@ -80,19 +128,44 @@ impl SourceFile {
     }
 }
 
+/// The two line-preserving projections of a source text.
+#[derive(Debug)]
+pub struct Views {
+    /// Comments, strings, and char literals blanked to spaces.
+    pub code: String,
+    /// Everything blanked *except* the text of plain `//` comments.
+    /// Doc comments (`///`, `//!`), block comments, and string contents
+    /// are spaces here — so a waiver is only real in a plain comment.
+    pub comment: String,
+}
+
 /// Blank out comments, strings, and char literals, preserving length and
 /// line structure so byte offsets map 1:1 onto the original.
 pub fn strip_non_code(text: &str) -> String {
-    #[derive(PartialEq)]
+    strip_views(text).code
+}
+
+/// One pass of the stripping state machine, producing both views.
+pub fn strip_views(text: &str) -> Views {
     enum State {
         Code,
-        LineComment,
+        /// `doc` is true for `///` and `//!` comments, which are
+        /// rendered documentation, not annotations on the line below.
+        LineComment {
+            doc: bool,
+        },
         BlockComment(u32),
         Str,
         RawStr(u32),
     }
     let bytes: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
+    let mut code = String::with_capacity(text.len());
+    let mut comment = String::with_capacity(text.len());
+    // Push one char to the code view and its blank to the comment view.
+    let both = |code: &mut String, comment: &mut String, c: char| {
+        code.push(c);
+        comment.push(if c == '\n' { '\n' } else { ' ' });
+    };
     let mut st = State::Code;
     let mut i = 0;
     while i < bytes.len() {
@@ -101,18 +174,19 @@ pub fn strip_non_code(text: &str) -> String {
         match st {
             State::Code => {
                 if c == '/' && next == Some('/') {
-                    st = State::LineComment;
-                    out.push(' ');
-                    out.push(' ');
+                    let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'));
+                    st = State::LineComment { doc };
+                    both(&mut code, &mut comment, ' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 2;
                 } else if c == '/' && next == Some('*') {
                     st = State::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 2;
                 } else if c == '"' {
                     st = State::Str;
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 1;
                 } else if (c == 'r' || c == 'b') && raw_str_hashes(&bytes, i).is_some() {
                     // r"…", r#"…"#, br"…" etc. Consume prefix up to the
@@ -122,58 +196,70 @@ pub fn strip_non_code(text: &str) -> String {
                         None => unreachable!(),
                     };
                     for _ in i..=quote_at {
-                        out.push(' ');
+                        both(&mut code, &mut comment, ' ');
                     }
                     i = quote_at + 1;
                     st = State::RawStr(hashes);
+                } else if c == 'b'
+                    && matches!(next, Some('\'') | Some('"'))
+                    && (i == 0 || !is_ident_char(bytes[i - 1]))
+                {
+                    // Byte literal prefix (b'x', b"…"): blank the `b` so
+                    // it doesn't survive as a stray identifier; the
+                    // quote is handled on the next iteration.
+                    both(&mut code, &mut comment, ' ');
+                    i += 1;
                 } else if c == '\'' {
                     // Char literal vs lifetime. A char literal is
                     // 'x', '\n', '\u{..}' — i.e. the quote is followed by
                     // either an escape or exactly one char then a quote.
                     if next == Some('\\') {
                         // Escaped char literal: consume to closing quote.
-                        out.push(' ');
+                        both(&mut code, &mut comment, ' ');
                         i += 1;
                         while i < bytes.len() {
                             let d = bytes[i];
-                            out.push(if d == '\n' { '\n' } else { ' ' });
+                            both(&mut code, &mut comment, if d == '\n' { '\n' } else { ' ' });
                             i += 1;
                             if d == '\'' {
                                 break;
                             }
                             if d == '\\' && i < bytes.len() {
-                                out.push(' ');
+                                let e = bytes[i];
+                                both(&mut code, &mut comment, if e == '\n' { '\n' } else { ' ' });
                                 i += 1; // skip escaped char
                             }
                         }
                     } else if bytes.get(i + 2) == Some(&'\'') && next != Some('\'') {
-                        out.push(' ');
-                        out.push(' ');
-                        out.push(' ');
+                        for _ in 0..3 {
+                            both(&mut code, &mut comment, ' ');
+                        }
                         i += 3;
                     } else {
                         // Lifetime — part of the code view.
-                        out.push(c);
+                        both(&mut code, &mut comment, c);
                         i += 1;
                     }
                 } else {
-                    out.push(c);
+                    both(&mut code, &mut comment, c);
                     i += 1;
                 }
             }
-            State::LineComment => {
+            State::LineComment { doc } => {
                 if c == '\n' {
-                    out.push('\n');
+                    code.push('\n');
+                    comment.push('\n');
                     st = State::Code;
                 } else {
-                    out.push(' ');
+                    code.push(' ');
+                    comment.push(if doc { ' ' } else { c });
                 }
                 i += 1;
             }
             State::BlockComment(depth) => {
                 if c == '*' && next == Some('/') {
-                    out.push(' ');
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 2;
                     if depth == 1 {
                         st = State::Code;
@@ -181,48 +267,52 @@ pub fn strip_non_code(text: &str) -> String {
                         st = State::BlockComment(depth - 1);
                     }
                 } else if c == '/' && next == Some('*') {
-                    out.push(' ');
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 2;
                     st = State::BlockComment(depth + 1);
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    both(&mut code, &mut comment, if c == '\n' { '\n' } else { ' ' });
                     i += 1;
                 }
             }
             State::Str => {
                 if c == '\\' {
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
                     if let Some(d) = next {
-                        out.push(if d == '\n' { '\n' } else { ' ' });
+                        both(&mut code, &mut comment, if d == '\n' { '\n' } else { ' ' });
                         i += 2;
                     } else {
                         i += 1;
                     }
                 } else if c == '"' {
-                    out.push(' ');
+                    both(&mut code, &mut comment, ' ');
                     i += 1;
                     st = State::Code;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    both(&mut code, &mut comment, if c == '\n' { '\n' } else { ' ' });
                     i += 1;
                 }
             }
             State::RawStr(hashes) => {
                 if c == '"' && closes_raw_str(&bytes, i, hashes) {
                     for _ in 0..=hashes {
-                        out.push(' ');
+                        both(&mut code, &mut comment, ' ');
                     }
                     i += 1 + hashes as usize;
                     st = State::Code;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    both(&mut code, &mut comment, if c == '\n' { '\n' } else { ' ' });
                     i += 1;
                 }
             }
         }
     }
-    out
+    Views { code, comment }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
 }
 
 /// At position `i` on `r`/`b`: if this begins a raw string literal,
@@ -245,11 +335,8 @@ fn raw_str_hashes(bytes: &[char], i: usize) -> Option<(u32, usize)> {
     if bytes.get(j) == Some(&'"') {
         // Guard against identifiers ending in r (e.g. `var"`) — the char
         // before `i` must not be alphanumeric/underscore.
-        if i > 0 {
-            let p = bytes[i - 1];
-            if p.is_alphanumeric() || p == '_' {
-                return None;
-            }
+        if i > 0 && is_ident_char(bytes[i - 1]) {
+            return None;
         }
         Some((hashes, j))
     } else {
@@ -262,56 +349,21 @@ fn closes_raw_str(bytes: &[char], i: usize, hashes: u32) -> bool {
     (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
 }
 
-/// Mark every line belonging to a `#[cfg(test)]` item (attribute line,
-/// item header, and the full brace-balanced body).
-fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
-    // A file-level `#![cfg(test)]` inner attribute marks the whole file:
-    // it's how an out-of-line test-only module (declared `#[cfg(test)]
-    // mod x;` in its parent, e.g. flowtune-sched's equivalence suite)
-    // carries its gate where this per-file scan can see it.
-    if code_lines.iter().any(|l| l.contains("#![cfg(test)]")) {
-        return vec![true; code_lines.len()];
-    }
-    let mut marks = vec![false; code_lines.len()];
-    let mut i = 0;
-    while i < code_lines.len() {
-        if code_lines[i].contains("#[cfg(test)]") {
-            // Mark from the attribute until the item's braces balance.
-            let mut depth: i64 = 0;
-            let mut seen_open = false;
-            let mut j = i;
-            while j < code_lines.len() {
-                marks[j] = true;
-                for c in code_lines[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            seen_open = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if seen_open && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    marks
-}
-
-/// Parse `// flowtune-allow(<rule>): <reason>` waivers. A reason is
-/// mandatory — a waiver without one is ignored (and the violation it
-/// failed to cover will surface). Each waiver covers its own line and
-/// the next line.
-fn collect_waivers(raw_lines: &[String]) -> BTreeMap<String, BTreeSet<usize>> {
-    let mut map: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
-    for (idx, line) in raw_lines.iter().enumerate() {
+/// Parse `// flowtune-allow(<rule>): <reason>` waivers from the comment
+/// view (plain `//` comments only — a waiver quoted in a doc comment or
+/// a string literal is not a waiver). A reason is mandatory — a waiver
+/// without one suppresses nothing (and surfaces in the stale-waiver
+/// audit). Each waiver covers its own line and the next line.
+#[allow(clippy::type_complexity)]
+fn collect_waivers(
+    comment_lines: &[String],
+) -> (
+    BTreeMap<String, BTreeMap<usize, Vec<usize>>>,
+    Vec<WaiverDecl>,
+) {
+    let mut map: BTreeMap<String, BTreeMap<usize, Vec<usize>>> = BTreeMap::new();
+    let mut decls = Vec::new();
+    for (idx, line) in comment_lines.iter().enumerate() {
         let mut rest = line.as_str();
         while let Some(pos) = rest.find("flowtune-allow(") {
             rest = &rest[pos + "flowtune-allow(".len()..];
@@ -320,15 +372,22 @@ fn collect_waivers(raw_lines: &[String]) -> BTreeMap<String, BTreeSet<usize>> {
             let after = &rest[close + 1..];
             let reason_ok =
                 after.trim_start().starts_with(':') && !after.trim_start()[1..].trim().is_empty();
-            if !rule.is_empty() && reason_ok {
-                let entry = map.entry(rule).or_default();
-                entry.insert(idx);
-                entry.insert(idx + 1);
+            if !rule.is_empty() {
+                if reason_ok {
+                    let entry = map.entry(rule.clone()).or_default();
+                    entry.entry(idx).or_default().push(idx);
+                    entry.entry(idx + 1).or_default().push(idx);
+                }
+                decls.push(WaiverDecl {
+                    rule,
+                    line: idx,
+                    has_reason: reason_ok,
+                });
             }
             rest = after;
         }
     }
-    map
+    (map, decls)
 }
 
 /// Token-level word match: `needle` occurs in `haystack` with no
@@ -399,38 +458,120 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_block_comments_unwind_fully() {
+        let s = strip_non_code("/*1/*2/*3/*4/*5 panic!() */4*/3*/2*/1*/ let ok = 1;");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let ok = 1;"));
+    }
+
+    #[test]
     fn preserves_line_count() {
         let text = "a\n\"multi\nline\nstring\"\nb\n";
         assert_eq!(strip_non_code(text).lines().count(), text.lines().count());
     }
 
     #[test]
-    fn marks_cfg_test_regions() {
-        let code = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
-        let lines: Vec<String> = code.lines().map(str::to_owned).collect();
-        let marks = mark_test_regions(&lines);
-        assert_eq!(marks, vec![false, true, true, true, true, false]);
+    fn byte_literals_are_blanked_including_prefix() {
+        let s = strip_non_code("let a = b'x'; let s = b\"unwrap()\"; let blob = 1;");
+        assert!(!s.contains("unwrap"));
+        // The `b` prefix must not survive as a stray identifier...
+        assert!(s.contains("let a =  "), "got: {s:?}");
+        // ...while identifiers starting with b are untouched.
+        assert!(s.contains("let blob = 1;"));
     }
 
     #[test]
-    fn inner_cfg_test_attribute_marks_whole_file() {
-        let code = "//! docs\n#![cfg(test)]\nfn helper() {}\nfn t() {}\n";
-        let lines: Vec<String> = code.lines().map(str::to_owned).collect();
-        assert_eq!(mark_test_regions(&lines), vec![true; 4]);
+    fn escaped_quote_char_literal() {
+        let s = strip_non_code("let q = '\\''; let r = 1;");
+        assert!(s.contains("let r = 1;"), "got: {s:?}");
+        assert!(!s.contains('\''), "quote leaked: {s:?}");
+    }
+
+    #[test]
+    fn unterminated_raw_string_at_eof_consumes_rest() {
+        // Malformed input must not panic or leak the tail into code.
+        let s = strip_non_code("let s = r#\"never closed unwrap()");
+        assert!(!s.contains("unwrap"));
+        let s2 = strip_non_code("let s = \"also open\nunwrap()");
+        assert!(!s2.contains("unwrap"));
+        assert_eq!(s2.lines().count(), 2);
+    }
+
+    #[test]
+    fn lifetime_vs_char_after_generics() {
+        let s = strip_non_code("fn f<'a, 'b>(x: &'a u8, y: &'b u8) { let c = 'c'; }");
+        assert!(s.contains("<'a, 'b>"), "lifetimes must survive: {s:?}");
+        assert!(s.contains("&'a u8"));
+        assert!(!s.contains("'c'"), "char literal must be blanked: {s:?}");
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_terminates() {
+        let s = strip_non_code("let b = '\\\\'; let after = 2;");
+        assert!(s.contains("let after = 2;"), "got: {s:?}");
+    }
+
+    #[test]
+    fn comment_view_keeps_only_plain_line_comments() {
+        let text = "\
+//! doc: flowtune-allow(determinism): phantom\n\
+/// also doc: flowtune-allow(determinism): phantom\n\
+// real: flowtune-allow(panic-hygiene): genuine\n\
+let s = \"flowtune-allow(determinism): in a string\";\n\
+/* block: flowtune-allow(determinism): phantom */\n";
+        let v = strip_views(text);
+        assert_eq!(v.comment.matches("flowtune-allow").count(), 1);
+        assert!(v.comment.contains("flowtune-allow(panic-hygiene)"));
+        assert!(!v.code.contains("flowtune-allow"));
     }
 
     #[test]
     fn waiver_requires_reason_and_covers_next_line() {
         let lines: Vec<String> = vec![
             "// flowtune-allow(panic-hygiene): invariant upheld by caller".into(),
-            "x.unwrap();".into(),
-            "// flowtune-allow(panic-hygiene)".into(), // no reason -> ignored
-            "y.unwrap();".into(),
+            "".into(),
+            "// flowtune-allow(panic-hygiene)".into(), // no reason -> suppresses nothing
+            "".into(),
         ];
-        let w = collect_waivers(&lines);
-        let set = &w["panic-hygiene"];
-        assert!(set.contains(&0) && set.contains(&1));
-        assert!(!set.contains(&3));
+        let (map, decls) = collect_waivers(&lines);
+        let set = &map["panic-hygiene"];
+        assert!(set.contains_key(&0) && set.contains_key(&1));
+        assert!(!set.contains_key(&2) && !set.contains_key(&3));
+        // Both declarations are recorded for the stale-waiver audit.
+        assert_eq!(decls.len(), 2);
+        assert!(decls[0].has_reason);
+        assert!(!decls[1].has_reason);
+        assert_eq!(decls[1].line, 2);
+    }
+
+    #[test]
+    fn waivers_in_docs_and_strings_are_phantom() {
+        let text = "\
+//! // flowtune-allow(determinism): doc example\n\
+fn f() {\n\
+    let s = \"flowtune-allow(ordered-iteration): stringly\";\n\
+}\n";
+        let f = SourceFile::from_text(text, PathBuf::from("x.rs"), "x.rs".into(), FileKind::Lib);
+        assert!(f.waiver_decls.is_empty());
+        assert!(!f.is_waived("determinism", 0));
+        assert!(!f.is_waived("ordered-iteration", 2));
+    }
+
+    #[test]
+    fn source_file_exposes_tokens_and_model() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::from_text(text, PathBuf::from("x.rs"), "x.rs".into(), FileKind::Lib);
+        assert!(f.tokens.iter().any(|t| t.is_ident("lib")));
+        assert_eq!(f.test_lines, vec![false, true, true, true, true]);
+        assert!(!f.is_test_line(0) && f.is_test_line(3));
+    }
+
+    #[test]
+    fn waiver_decl_lines_point_at_declaration() {
+        let text = "// flowtune-allow(determinism): reason here\nlet x = 1;\n";
+        let f = SourceFile::from_text(text, PathBuf::from("x.rs"), "x.rs".into(), FileKind::Lib);
+        assert_eq!(f.waiver_decl_lines("determinism", 1), &[0]);
+        assert_eq!(f.waiver_decl_lines("determinism", 5), &[] as &[usize]);
     }
 
     #[test]

@@ -26,11 +26,25 @@ pub struct CrateInfo {
     pub files: Vec<SourceFile>,
 }
 
-/// The scanned workspace: every member crate under `<root>/crates/`.
+/// A non-Rust file the rules cross-reference (golden fixtures, the CI
+/// driver script).
+#[derive(Debug)]
+pub struct AuxFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    pub text: String,
+}
+
+/// The scanned workspace: every member crate under `<root>/crates/`,
+/// plus the auxiliary files rules cross-reference.
 #[derive(Debug)]
 pub struct Workspace {
     pub root: PathBuf,
     pub crates: Vec<CrateInfo>,
+    /// Files under `<root>/tests/golden/`, sorted by path.
+    pub goldens: Vec<AuxFile>,
+    /// `<root>/ci/check.sh`, when present.
+    pub check_script: Option<AuxFile>,
 }
 
 impl Workspace {
@@ -53,10 +67,45 @@ impl Workspace {
         for dir in members {
             crates.push(load_crate(root, &dir)?);
         }
+
+        let mut goldens = Vec::new();
+        let golden_dir = root.join("tests/golden");
+        if golden_dir.is_dir() {
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(&golden_dir)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            paths.sort();
+            for p in paths {
+                goldens.push(AuxFile {
+                    rel: rel_to(root, &p),
+                    text: std::fs::read_to_string(&p)?,
+                });
+            }
+        }
+        let check_path = root.join("ci/check.sh");
+        let check_script = if check_path.is_file() {
+            Some(AuxFile {
+                rel: rel_to(root, &check_path),
+                text: std::fs::read_to_string(&check_path)?,
+            })
+        } else {
+            None
+        };
+
         Ok(Workspace {
             root: root.to_path_buf(),
             crates,
+            goldens,
+            check_script,
         })
+    }
+
+    /// The golden file with this root-relative path, if present.
+    pub fn golden(&self, rel: &str) -> Option<&AuxFile> {
+        self.goldens.iter().find(|g| g.rel == rel)
     }
 }
 

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Fixture check script for golden-coverage: one good reference, one dangling.
+diff tests/golden/used.json tests/golden/used.json
+cat tests/golden/missing.json

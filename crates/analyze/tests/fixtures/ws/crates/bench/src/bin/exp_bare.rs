@@ -1,0 +1,5 @@
+//! Bin-hygiene fixture: an experiment missing the harness plumbing.
+
+fn main() {
+    println!("no obs guard, no smoke flag");
+}

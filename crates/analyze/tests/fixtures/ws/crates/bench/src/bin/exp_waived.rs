@@ -1,0 +1,4 @@
+//! A fixture experiment that documents why it opts out of the harness.
+
+// flowtune-allow(bin-hygiene): fixture binary exercising the waiver path
+fn main() {}

@@ -1,0 +1,17 @@
+//! Cast-discipline fixture: raw `as` casts on money/time idents.
+
+pub fn bill(leased_quanta: u64) -> f64 {
+    let dollars = leased_quanta as f64 * 0.1;
+    // flowtune-allow(cast-discipline): quanta counts stay below 2^53 here
+    let waived = leased_quanta as f64;
+    dollars + waived
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let total_cost = 5u64;
+        let _c = total_cost as f64;
+    }
+}

@@ -1,0 +1,11 @@
+//! Obs-discipline fixture: name format and duplicate-kind findings.
+
+pub fn emit() {
+    flowtune_obs::count("obsfix.steps", 1);
+    flowtune_obs::count("NotSnake.Case", 1);
+    flowtune_obs::observe("obsfix.steps", 2.0);
+    // flowtune-allow(obs-discipline): fixture shows a waived dual-kind recording
+    flowtune_obs::gauge("obsfix.steps", 3.0);
+    obs_event!("obsfix.step_event");
+    obs_event!("obsfix.step_event");
+}

@@ -1,6 +1,10 @@
 //! Table 6 as a criterion benchmark: the four query classes with and
 //! without a B+Tree index on `lineitem.orderkey`.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_bench::micro::Criterion;
 use flowtune_bench::{criterion_group, criterion_main};
 use flowtune_index::BPlusTree;

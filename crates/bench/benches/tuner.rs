@@ -4,7 +4,7 @@
 
 use flowtune_bench::micro::{BenchmarkId, Criterion};
 use flowtune_bench::{criterion_group, criterion_main};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 
 use flowtune_common::{
@@ -52,7 +52,7 @@ fn bench_full_decision(c: &mut Criterion) {
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let mut tuner = OnlineTuner::new(model());
     for k in 0..50u32 {
-        let mut gains = HashMap::new();
+        let mut gains = BTreeMap::new();
         for i in 0..5 {
             gains.insert(IndexId((k * 7 + i) % 500), (2.0, 3.0));
         }
@@ -62,7 +62,7 @@ fn bench_full_decision(c: &mut Criterion) {
             index_gains: gains,
         });
     }
-    let current: HashMap<IndexId, (f64, f64)> = (0..5).map(|i| (IndexId(i), (4.0, 5.0))).collect();
+    let current: BTreeMap<IndexId, (f64, f64)> = (0..5).map(|i| (IndexId(i), (4.0, 5.0))).collect();
     c.bench_function("tuner/decide_500_indexes", |b| {
         b.iter(|| {
             tuner.decide(

@@ -9,6 +9,10 @@
 //! learner tracks each index's observed reuse interval and lands near
 //! the best of both.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
@@ -20,7 +24,12 @@ fn main() {
         "Ablation: fading controller",
         "global D vs per-index adaptive learning (§7 future work)",
     );
-    println!("horizon: {quanta} quanta, phase workload, Gain policy");
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag}, phase workload, Gain policy");
     println!();
     let mut rows = vec![vec![
         "fading".to_string(),

@@ -7,6 +7,10 @@
 //! evaluated against a No-Index baseline of the same seed) is reported
 //! for each α.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{paired_objective, IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
@@ -18,7 +22,12 @@ fn main() {
         "Ablation: α sweep",
         "the Eq. 1 trade-off knob (paper fixes α = 0.5)",
     );
-    println!("horizon: {quanta} quanta, phase workload");
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag}, phase workload");
     println!();
 
     let run = |policy: IndexPolicy, alpha: f64| {

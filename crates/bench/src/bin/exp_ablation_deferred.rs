@@ -11,6 +11,10 @@
 //!    partitioned builds are deliberately small enough to fit slots (the
 //!    paper's core premise), so deferral is expected to change nothing.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_common::{BuildOpId, IndexId, Money, SimDuration};
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
@@ -121,6 +125,13 @@ fn main() {
         "Ablation: deferred batch builds",
         "slot-only interleaving vs gain-justified paid batches (§7)",
     );
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag}");
+    println!();
     short_slot_scenario();
     service_sanity(quanta);
 }

@@ -10,6 +10,10 @@
 //! `--smoke` shrinks the horizon and the rate grid for CI; set
 //! `FLOWTUNE_QUANTA` to override the full-run horizon.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_cloud::FaultConfig;
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{QaasService, RecoveryConfig, RecoveryPolicyKind, ServiceConfig};
@@ -17,7 +21,7 @@ use flowtune_dataflow::WorkloadKind;
 
 fn main() {
     let _obs = flowtune_bench::obs_guard();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = flowtune_bench::smoke();
     let quanta = if smoke {
         40
     } else {
@@ -50,11 +54,13 @@ fn main() {
     ]];
     for &rate in rates {
         for policy in RecoveryPolicyKind::ALL {
-            let mut config = ServiceConfig::default();
-            config.workload = WorkloadKind::paper_phases();
+            let mut config = ServiceConfig {
+                workload: WorkloadKind::paper_phases(),
+                faults: FaultConfig::with_rate(rate, FaultConfig::default().seed),
+                recovery: RecoveryConfig::with_policy(policy),
+                ..Default::default()
+            };
             config.params.total_quanta = quanta;
-            config.faults = FaultConfig::with_rate(rate, FaultConfig::default().seed);
-            config.recovery = RecoveryConfig::with_policy(policy);
             let report = QaasService::new(config).run().expect("service run failed");
             rows.push(vec![
                 format!("{rate:.1}"),

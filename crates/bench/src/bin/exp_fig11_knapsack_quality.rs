@@ -50,10 +50,15 @@ fn main() {
         "Figures 10-11",
         "knapsack packing vs Graham baseline and upper bound",
     );
-    // Fig. 10: histograms.
+    // Fig. 10: histograms (--smoke packs half the operator pool).
+    let ops: &[f64] = if flowtune_bench::smoke() {
+        &OPS_QUANTA[..OPS_QUANTA.len() / 2]
+    } else {
+        &OPS_QUANTA
+    };
     println!("build-operator durations (quanta):");
     let mut h = Histogram::new(0.0, 0.25, 5);
-    for &op in &OPS_QUANTA {
+    for &op in ops {
         h.record(op);
     }
     for (lo, hi, n) in h.iter() {
@@ -63,9 +68,9 @@ fn main() {
     println!();
 
     let slots: Vec<u64> = SLOTS_QUANTA.iter().map(|&q| to_ms(q)).collect();
-    let sizes: Vec<u64> = OPS_QUANTA.iter().map(|&q| to_ms(q)).collect();
+    let sizes: Vec<u64> = ops.iter().map(|&q| to_ms(q)).collect();
     // Gain of each operator equals its execution time (in quanta).
-    let values: Vec<f64> = OPS_QUANTA.to_vec();
+    let values: Vec<f64> = ops.to_vec();
 
     let (_, graham) = graham_greedy(&slots, &sizes, &values);
     let lp = lp_pack(&slots, &sizes, &values);

@@ -9,6 +9,10 @@
 //!
 //! Set `FLOWTUNE_QUANTA` for a shorter smoke run.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
@@ -20,7 +24,12 @@ fn main() {
         "Figure 12 / Table 7",
         "phase workload: dataflows finished, cost per dataflow, killed ops",
     );
-    println!("horizon: {quanta} quanta (paper: 720)");
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag} (paper: 720)");
     println!();
 
     let policies = [

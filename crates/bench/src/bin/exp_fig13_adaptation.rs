@@ -6,6 +6,10 @@
 //! deleted after the phase ends (their gain fades), and some CyberShake
 //! indexes are *recreated* when CyberShake returns in the final phase.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
@@ -17,6 +21,13 @@ fn main() {
         "Figure 13",
         "indexes built and storage cost over time (phase workload)",
     );
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag}");
+    println!();
     let mut config = ServiceConfig::default();
     config.params.total_quanta = quanta;
     config.policy = IndexPolicy::Gain { delete: true };

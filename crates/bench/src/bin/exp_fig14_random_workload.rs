@@ -5,6 +5,10 @@
 //! phased experiment: with a random mix, indexes essentially never stop
 //! being useful, so they are stored for much longer.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_core::{IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
@@ -16,7 +20,12 @@ fn main() {
         "Figure 14",
         "random workload: dataflows finished and cost per dataflow",
     );
-    println!("horizon: {quanta} quanta (paper: 720)");
+    let smoke_tag = if flowtune_bench::smoke() {
+        " (smoke)"
+    } else {
+        ""
+    };
+    println!("horizon: {quanta} quanta{smoke_tag} (paper: 720)");
     println!();
     let policies = [
         IndexPolicy::NoIndex,

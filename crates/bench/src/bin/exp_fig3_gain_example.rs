@@ -109,7 +109,9 @@ fn main() {
         "A built".to_string(),
         "B built".to_string(),
     ]];
-    for t in (0..=200).step_by(5) {
+    // Full resolution for the figure; a coarse sweep under --smoke.
+    let step = if flowtune_bench::smoke() { 25 } else { 5 };
+    for t in (0..=200).step_by(step) {
         let t = t as f64;
         let ga = a.gain_at(&model, t);
         let gb = b.gain_at(&model, t);

@@ -54,7 +54,12 @@ fn main() {
         "alpha".to_string(),
         "ranking (best first)".to_string(),
     ]];
-    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+    let alphas: &[f64] = if flowtune_bench::smoke() {
+        &[0.1, 0.5, 0.9]
+    } else {
+        &[0.1, 0.3, 0.5, 0.7, 0.9]
+    };
+    for &alpha in alphas {
         rows.push(vec![format!("{alpha:.1}"), ranked_at(alpha).join(" > ")]);
     }
     print!("{}", render_table(&rows));

@@ -7,6 +7,10 @@
 //! monetary cost and fragmentation, averaged over dataflows of all
 //! three applications.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 
 use flowtune_cloud::{perturb_dag, IndexAvailability, Simulator};
@@ -36,7 +40,14 @@ fn main() {
         "Δfrag % (data err)".to_string(),
     ]];
     let dags = setup.one_dag_per_app(42);
-    for error_pct in [0u32, 5, 10, 20, 40, 60, 80, 100] {
+    let smoke = flowtune_bench::smoke();
+    let grid: &[u32] = if smoke {
+        &[0, 20, 80]
+    } else {
+        &[0, 5, 10, 20, 40, 60, 80, 100]
+    };
+    let seeds = if smoke { 2u64 } else { 5 };
+    for &error_pct in grid {
         let e = (error_pct as f64 / 100.0).min(0.999);
         let mut cells = vec![format!("{error_pct}")];
         for (time_err, data_err) in [(e, 0.0), (0.0, e)] {
@@ -50,7 +61,7 @@ fn main() {
                 let est_frag = total_fragmentation(&schedule, quantum)
                     .as_secs_f64()
                     .max(1.0);
-                for seed in 0..5u64 {
+                for seed in 0..seeds {
                     let mut rng = SimRng::seed_from_u64(seed * 77 + error_pct as u64);
                     let actual = perturb_dag(dag, time_err, data_err, &mut rng);
                     let sim = Simulator::new(setup.params.cloud.clone(), &setup.filedb);

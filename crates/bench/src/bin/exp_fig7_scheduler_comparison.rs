@@ -10,6 +10,10 @@
 //! Uses CyberShake, as the paper does ("results are similar for the
 //! other dataflows").
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_common::{ExperimentParams, SimRng};
 use flowtune_core::experiment::ExperimentSetup;
 use flowtune_core::tablefmt::render_table;
@@ -54,7 +58,8 @@ fn main() {
         setup.params.cloud.network_bandwidth,
     );
     let mut rng = SimRng::seed_from_u64(7);
-    let base = App::Cybershake.generate(100, &[], &mut rng);
+    let smoke = flowtune_bench::smoke();
+    let base = App::Cybershake.generate(if smoke { 30 } else { 100 }, &[], &mut rng);
 
     let compare = |dag: &Dag| -> (f64, f64) {
         let off = offline.schedule(dag).remove(0);
@@ -74,7 +79,12 @@ fn main() {
         "Δtime %".to_string(),
         "Δmoney %".to_string(),
     ]];
-    for scale in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+    let cpu_scales: &[f64] = if smoke {
+        &[1.0, 4.0, 10.0]
+    } else {
+        &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    };
+    for &scale in cpu_scales {
         let dag = scale_dag(&base, scale, 0.01);
         let (dt, dm) = compare(&dag);
         rows.push(vec![
@@ -92,7 +102,12 @@ fn main() {
         "Δtime %".to_string(),
         "Δmoney %".to_string(),
     ]];
-    for scale in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
+    let data_scales: &[f64] = if smoke {
+        &[1.0, 10.0, 100.0]
+    } else {
+        &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0]
+    };
+    for &scale in data_scales {
         let dag = scale_dag(&base, 1.0, scale);
         let (dt, dm) = compare(&dag);
         rows.push(vec![

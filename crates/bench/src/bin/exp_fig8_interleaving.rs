@@ -20,11 +20,13 @@ fn main() {
     );
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
+    let smoke = flowtune_bench::smoke();
     let mut rng = SimRng::seed_from_u64(8);
-    let dag = App::Montage.generate(100, &[], &mut rng);
+    let dag = App::Montage.generate(if smoke { 30 } else { 100 }, &[], &mut rng);
 
-    // A pool of pending build ops: 20 indexes x 4 partitions, 5-30 s.
-    let pending: Vec<BuildOp> = (0..80u32)
+    // A pool of pending build ops: 20 indexes x 4 partitions, 5-30 s
+    // (a quarter of that under --smoke).
+    let pending: Vec<BuildOp> = (0..if smoke { 20u32 } else { 80 })
         .map(|i| BuildOp {
             id: BuildOpId(i),
             build: BuildRef {

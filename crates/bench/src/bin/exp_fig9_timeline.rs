@@ -5,6 +5,10 @@
 //! Prints an ASCII timeline: one row per container, `#` for dataflow
 //! operators, `+` for build operators, `.` for idle leased time.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_common::{BuildOpId, ExperimentParams, IndexId, SimDuration, SimRng, SimTime};
 use flowtune_core::experiment::ExperimentSetup;
 use flowtune_dataflow::App;
@@ -55,13 +59,14 @@ fn main() {
     );
     let setup = ExperimentSetup::new(ExperimentParams::default());
     let quantum = setup.params.cloud.quantum;
+    let smoke = flowtune_bench::smoke();
     let mut rng = SimRng::seed_from_u64(9);
-    let dag = App::Montage.generate(100, &[], &mut rng);
+    let dag = App::Montage.generate(if smoke { 30 } else { 100 }, &[], &mut rng);
     let scheduler = SkylineScheduler::new(setup.scheduler_config(8));
     let mut schedule = scheduler.schedule(&dag).remove(0);
 
     let before = total_fragmentation(&schedule, quantum);
-    let pending: Vec<BuildOp> = (0..160u32)
+    let pending: Vec<BuildOp> = (0..if smoke { 40u32 } else { 160 })
         .map(|i| BuildOp {
             id: BuildOpId(i),
             build: BuildRef {

@@ -6,6 +6,10 @@
 //! fronts: a mixed pool stretches the front at *both* ends — faster
 //! fastest schedules and cheaper cheapest schedules.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_common::{Money, SimDuration, SimRng};
 use flowtune_core::tablefmt::render_table;
 use flowtune_dataflow::App;
@@ -32,8 +36,14 @@ fn main() {
         "cheapest ($)".to_string(),
         "cheapest time (quanta)".to_string(),
     ]];
-    for app in App::ALL {
-        let dag = app.generate(100, &[], &mut SimRng::seed_from_u64(17));
+    let smoke = flowtune_bench::smoke();
+    let apps: &[App] = if smoke { &App::ALL[..1] } else { &App::ALL };
+    for app in apps {
+        let dag = app.generate(
+            if smoke { 30 } else { 100 },
+            &[],
+            &mut SimRng::seed_from_u64(17),
+        );
         for (label, scheduler) in [("standard only", &homo), ("eco+std+fast", &mixed)] {
             let front = scheduler.schedule(&dag);
             let fastest = front.first().expect("non-empty front");

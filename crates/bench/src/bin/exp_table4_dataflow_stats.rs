@@ -24,10 +24,11 @@ fn main() {
         "stdev".to_string(),
         "paper (min/max/mean/stdev)".to_string(),
     ]];
+    // Runtime stats over 50 generated dataflows per app (8 for --smoke).
+    let samples = if flowtune_bench::smoke() { 8 } else { 50 };
     for app in App::ALL {
-        // Operator runtimes over 50 generated dataflows.
         let mut time = OnlineStats::new();
-        for i in 0..50 {
+        for i in 0..samples {
             let dag = app.generate(100, &[], &mut SimRng::seed_from_u64(1000 + i));
             for op in dag.ops() {
                 time.push(op.runtime.as_secs_f64());

@@ -38,7 +38,13 @@ fn main() {
         "paper MB".to_string(),
         "paper %".to_string(),
     ]];
-    for (column, paper_mb, paper_pct) in PAPER {
+    // The model is analytic, so --smoke just trims the table to one row.
+    let columns: &[(&str, f64, f64)] = if flowtune_bench::smoke() {
+        &PAPER[..1]
+    } else {
+        &PAPER
+    };
+    for &(column, paper_mb, paper_pct) in columns {
         let key_bytes = schema
             .column(column)
             .unwrap_or_else(|| panic!("missing column {column}"))

@@ -9,6 +9,10 @@
 //! Set `FLOWTUNE_TABLE6_ROWS` to scale the table (default 2 M rows;
 //! the paper uses ~12 M).
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::tablefmt::render_table;
 use flowtune_query::measure_table6;
 
@@ -22,11 +26,20 @@ const PAPER: [(&str, f64, f64, f64); 4] = [
 
 fn main() {
     let _obs = flowtune_bench::obs_guard();
-    let rows_n = flowtune_bench::table6_rows();
+    let smoke = flowtune_bench::smoke();
+    let rows_n = if smoke {
+        200_000
+    } else {
+        flowtune_bench::table6_rows()
+    };
     flowtune_bench::banner("Table 6", "index speedup (measured on real B+Tree)");
     println!("table rows: {rows_n} (paper: ~12 M at SF 2)");
     println!();
-    let measured = measure_table6(rows_n, 6, 3);
+    let measured = if smoke {
+        measure_table6(rows_n, 2, 1)
+    } else {
+        measure_table6(rows_n, 6, 3)
+    };
     let mut rows = vec![vec![
         "query".to_string(),
         "no-index".to_string(),

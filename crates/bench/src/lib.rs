@@ -71,12 +71,20 @@ pub fn obs_guard() -> ObsGuard {
     guard
 }
 
-/// Read the horizon override (quanta).
+/// Was `--smoke` passed? Every experiment honours it by shrinking its
+/// horizon and sweep grids to a CI-sized run (bin-hygiene in
+/// `flowtune-analyze` enforces that each `exp_*` binary wires this).
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Read the horizon override (quanta). `FLOWTUNE_QUANTA` wins, then
+/// `--smoke` shrinks the default to a short CI horizon.
 pub fn horizon_quanta() -> u64 {
     std::env::var("FLOWTUNE_QUANTA")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(720)
+        .unwrap_or(if smoke() { 60 } else { 720 })
 }
 
 /// Read the Table 6 row-count override.

@@ -250,7 +250,6 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowtune_common::SimDuration;
 
     #[test]
     fn inactive_injector_never_fires_and_never_draws() {

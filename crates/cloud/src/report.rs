@@ -93,8 +93,10 @@ mod tests {
 
     #[test]
     fn counters_add_up() {
-        let mut r = ExecutionReport::default();
-        r.dataflow_ops = 100;
+        let mut r = ExecutionReport {
+            dataflow_ops: 100,
+            ..Default::default()
+        };
         r.completed_builds.push(CompletedBuild {
             build: BuildRef {
                 index: IndexId(0),
@@ -119,7 +121,7 @@ mod tests {
             part: 1,
         });
         assert_eq!(r.build_ops_attempted(), 4);
-        r.killed_ops.push(flowtune_common::OpId(7));
+        r.killed_ops.push(OpId(7));
         assert!(!r.completed());
     }
 }

@@ -179,6 +179,7 @@ impl<'a> Simulator<'a> {
                         container = c.0,
                         revoke_at_ms = t.as_millis(),
                     );
+                    // flowtune-allow(obs-discipline): fires only with spot revocations enabled; the smoke run is on-demand
                     flowtune_obs::count("cloud.revocations", 1);
                     revocations.insert(c, t);
                     report.revoked_containers.push(c);
@@ -892,7 +893,7 @@ mod tests {
                 &BTreeMap::new(),
             )
             .unwrap();
-        let mut inj = crate::fault::FaultInjector::none();
+        let mut inj = FaultInjector::none();
         let with = sim
             .execute_with_faults(
                 &dag,

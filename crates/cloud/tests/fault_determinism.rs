@@ -29,6 +29,7 @@ fn faulted_run(workload_seed: u64, fault_rate: f64, fault_seed: u64) -> String {
     let sim = Simulator::new(CloudConfig::default(), &db);
     let plan = FaultPlan::new(FaultConfig::with_rate(fault_rate, fault_seed));
     let mut injector = plan.injector(0, 0);
+    #[allow(clippy::expect_used)]
     let report = sim
         .execute_with_faults(
             &df.dag,

@@ -153,7 +153,7 @@ impl Default for ExperimentParams {
             ops_per_dataflow: 100,
             poisson_lambda_quanta: 1.0,
             total_quanta: 720,
-            seed: 0xF10_7_7E,
+            seed: 0x00F1_077E,
         }
     }
 }

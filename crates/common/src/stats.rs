@@ -35,15 +35,6 @@ impl OnlineStats {
         }
     }
 
-    /// Build from an iterator of samples.
-    pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
-        let mut s = OnlineStats::new();
-        for v in values {
-            s.push(v);
-        }
-        s
-    }
-
     /// Add one sample.
     pub fn push(&mut self, x: f64) {
         self.count += 1;
@@ -123,6 +114,17 @@ impl OnlineStats {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    /// Build from an iterator of samples.
+    fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.push(v);
+        }
+        s
     }
 }
 

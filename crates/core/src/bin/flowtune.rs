@@ -6,6 +6,10 @@
 //! flowtune --policy no-index --workload random --quanta 120 --csv
 //! ```
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::process::ExitCode;
 
 use flowtune_core::{
@@ -71,8 +75,10 @@ impl ObsOutputs {
 }
 
 fn parse_args() -> Result<(ServiceConfig, bool, ObsOutputs), String> {
-    let mut config = ServiceConfig::default();
-    config.workload = WorkloadKind::paper_phases();
+    let mut config = ServiceConfig {
+        workload: WorkloadKind::paper_phases(),
+        ..Default::default()
+    };
     let mut csv = false;
     let mut obs = ObsOutputs::default();
     // flowtune-allow(determinism): CLI argument parsing is this binary's input boundary

@@ -220,18 +220,24 @@ mod tests {
             cost_quanta: Quanta::new(mk),
             indexed_fraction: 0.0,
         };
-        let mut base = RunReport::default();
-        base.per_dataflow = vec![rec(4.0), rec(4.0)];
-        let mut tuned = RunReport::default();
-        tuned.per_dataflow = vec![rec(2.0), rec(3.0)];
-        tuned.index_storage_cost = Money::from_dollars(0.05);
+        let base = RunReport {
+            per_dataflow: vec![rec(4.0), rec(4.0)],
+            ..Default::default()
+        };
+        let tuned = RunReport {
+            per_dataflow: vec![rec(2.0), rec(3.0)],
+            index_storage_cost: Money::from_dollars(0.05),
+            ..Default::default()
+        };
         let obj = paired_objective(&base, &tuned, 0.5, Money::from_dollars(0.1));
         // Saved 2 + 1 quanta of both time and money: 0.1*(3) - 0.05.
         assert!((obj - 0.25).abs() < 1e-9, "objective {obj}");
         // A run with no savings but storage is negative.
-        let mut wasteful = RunReport::default();
-        wasteful.per_dataflow = vec![rec(4.0), rec(4.0)];
-        wasteful.index_storage_cost = Money::from_dollars(0.05);
+        let wasteful = RunReport {
+            per_dataflow: vec![rec(4.0), rec(4.0)],
+            index_storage_cost: Money::from_dollars(0.05),
+            ..Default::default()
+        };
         assert!(paired_objective(&base, &wasteful, 0.5, Money::from_dollars(0.1)) < 0.0);
     }
 

@@ -180,6 +180,7 @@ impl QaasService {
             if arrival > horizon {
                 break;
             }
+            #[allow(clippy::expect_used)]
             let lane = (0..lanes.len())
                 .min_by_key(|&l| lanes[l])
                 // flowtune-allow(panic-hygiene): lanes has params.arrival_lanes entries, validated >= 1
@@ -452,12 +453,14 @@ impl QaasService {
                 total_makespan.quanta(cloud.quantum).get(),
             );
             flowtune_obs::observe("service.indexed_fraction", indexed);
-            flowtune_obs::observe("service.cost_quanta", exec.leased_quanta as f64);
+            // flowtune-allow(cast-discipline): leased-quanta counts stay far below 2^53, exact in f64
+            let cost_quanta = Quanta::new(exec.leased_quanta as f64);
+            flowtune_obs::observe("service.cost_quanta", cost_quanta.get());
             report.per_dataflow.push(crate::report::DataflowRecord {
                 app: df.app.name(),
                 issued_quanta: issued.quanta(cloud.quantum),
                 makespan_quanta: total_makespan.quanta(cloud.quantum),
-                cost_quanta: Quanta::new(exec.leased_quanta as f64),
+                cost_quanta,
                 indexed_fraction: indexed,
             });
             report.timeline.push(TimelinePoint {
@@ -599,6 +602,7 @@ impl QaasService {
                 freed_bytes = freed,
                 at_ms = now.as_millis(),
             );
+            // flowtune-allow(obs-discipline): drops need a long horizon with phase shifts; the smoke run never drops
             flowtune_obs::count("service.index_drops", 1);
             for part in 0..parts {
                 // Never bill backwards: a build committed in the previous

@@ -124,7 +124,7 @@ impl DataflowFactory {
             .collect();
         keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
         let hi = 5.min(app_files.len()) as u64;
-        let lo = 2.min(hi) as u64;
+        let lo = 2.min(hi);
         let n_files = if lo < hi {
             self.rng.uniform_u64(lo, hi + 1)
         } else {

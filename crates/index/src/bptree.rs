@@ -75,10 +75,8 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
         let mut level: Vec<(K, u32)> = Vec::new(); // (min key, node id)
         for chunk in pairs.chunks(order) {
             let id = nodes.len() as u32;
-            if let Some(prev) = nodes.last_mut() {
-                if let Node::Leaf { next, .. } = prev {
-                    *next = Some(id);
-                }
+            if let Some(Node::Leaf { next, .. }) = nodes.last_mut() {
+                *next = Some(id);
             }
             nodes.push(Node::Leaf {
                 keys: chunk.iter().map(|(k, _)| k.clone()).collect(),
@@ -218,6 +216,7 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
             Node::Internal { keys, children } => {
                 let mid = keys.len() / 2;
                 let right_keys: Vec<K> = keys.split_off(mid + 1);
+                #[allow(clippy::expect_used)]
                 // flowtune-allow(panic-hygiene): split is only called on overfull nodes, so mid >= 1 keys remain
                 let sep = keys.pop().expect("internal node must have a middle key");
                 let right_children: Vec<u32> = children.split_off(mid + 1);
@@ -327,11 +326,8 @@ impl<K: Ord + Clone + Debug> BPlusTree<K> {
     pub fn iter(&self) -> RangeIter<'_, K> {
         // Walk to the leftmost leaf.
         let mut node = self.root;
-        loop {
-            match &self.nodes[node as usize] {
-                Node::Internal { children, .. } => node = children[0],
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { children, .. } = &self.nodes[node as usize] {
+            node = children[0];
         }
         RangeIter {
             tree: self,

@@ -59,6 +59,7 @@ impl DeferredBuildQueue {
     /// ref) keep the higher gain.
     pub fn defer(&mut self, ops: impl IntoIterator<Item = BuildOp>) {
         for op in ops {
+            // flowtune-allow(obs-discipline): deferred batches are off in the smoke run's config
             flowtune_obs::count("interleave.deferred", 1);
             match self.pending.iter_mut().find(|p| p.build == op.build) {
                 Some(existing) => existing.gain = existing.gain.max(op.gain),
@@ -135,7 +136,7 @@ impl DeferredBuildQueue {
             quanta = quanta,
             cost_dollars = batch_cost.as_dollars(),
         );
-        flowtune_obs::count("interleave.deferred_flushes", 1);
+        flowtune_obs::count("interleave.deferred_flushes", 1); // flowtune-allow(obs-discipline): deferred batches are off in the smoke run's config (covers next line too)
         flowtune_obs::count("interleave.deferred_built", ops.len() as u64);
         Some(BatchBuild {
             ops,

@@ -56,6 +56,7 @@ impl LpInterleaver {
             chosen.sort_by(|a, b| b.gain.total_cmp(&a.gain));
             let mut cursor = slot.start;
             for op in &chosen {
+                #[allow(clippy::expect_used)]
                 schedule
                     .try_insert_build(
                         slot.container,
@@ -85,6 +86,7 @@ impl LpInterleaver {
         flowtune_obs::count("interleave.slots_offered", slots_offered as u64);
         flowtune_obs::count("interleave.slots_filled", slots_filled as u64);
         flowtune_obs::count("interleave.placed", placed.len() as u64);
+        // flowtune-allow(obs-discipline): intentional dual recording — per-slot distribution above, per-call counter here; the golden pins both
         flowtune_obs::count("interleave.knapsack_nodes", knapsack_nodes);
         placed
     }

@@ -42,12 +42,14 @@ impl OnlineInterleaver {
         let skyline = self.scheduler.schedule_with_optional(dag, &optional);
         // Mirror the LP path's offered/placed accounting so Fig. 8's
         // online-vs-LP gap is readable straight off the metrics summary.
+        // flowtune-allow(obs-discipline): the smoke run schedules via the LP path, never the online interleaver
         flowtune_obs::count("interleave.online_offered", optional.len() as u64);
         let placed = skyline
             .iter()
             .map(|s| s.build_assignments().count())
             .max()
             .unwrap_or(0);
+        // flowtune-allow(obs-discipline): the smoke run schedules via the LP path, never the online interleaver
         flowtune_obs::count("interleave.online_placed", placed as u64);
         skyline
     }

@@ -55,6 +55,7 @@ pub fn measure_table6(rows: usize, seed: u64, runs: usize) -> Vec<SpeedupRow> {
         lines_per_order: 4,
     });
     let data = gen.generate_columns(&["orderkey"]);
+    #[allow(clippy::expect_used)]
     // flowtune-allow(panic-hygiene): the lineitem schema types orderkey as i64
     let col = data.column(0).as_i64().expect("orderkey is i64").to_vec();
 
@@ -66,6 +67,7 @@ pub fn measure_table6(rows: usize, seed: u64, runs: usize) -> Vec<SpeedupRow> {
     pairs.sort_unstable();
     let index = BPlusTree::bulk_build(64, &pairs);
 
+    #[allow(clippy::expect_used)]
     // flowtune-allow(panic-hygiene): rows >= 1 is the documented contract of measure_table6
     let max_key = *col.iter().max().expect("non-empty table");
     let large = (max_key / 12, max_key / 6);

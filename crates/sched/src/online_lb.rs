@@ -59,6 +59,7 @@ impl OnlineLoadBalanceScheduler {
         for op in dag.topo_order() {
             // Least loaded container (ties: lowest id) — load balance,
             // blind to where the inputs live.
+            #[allow(clippy::expect_used)]
             let c = (0..pool)
                 .min_by_key(|&c| (load[c], c))
                 // flowtune-allow(panic-hygiene): SchedulerConfig::validate rejects a zero container pool

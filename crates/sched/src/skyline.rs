@@ -663,6 +663,7 @@ impl SkylineScheduler {
                             let wins = p.skeleton == last.skeleton
                                 && p.optional_count > last.optional_count;
                             if wins {
+                                // flowtune-allow(obs-discipline): needs an optional-count tiebreak win, which the smoke workload never produces
                                 flowtune_obs::count("sched.tiebreak_optcount", 1);
                             }
                             wins

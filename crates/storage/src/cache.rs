@@ -66,6 +66,7 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
         if let Some((old, _)) = self.entries.remove(&key) {
             self.used -= old;
         }
+        #[allow(clippy::expect_used)]
         while self.used + bytes > self.capacity {
             let lru = self
                 .entries

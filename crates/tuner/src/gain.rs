@@ -65,6 +65,7 @@ impl GainModel {
         vm_price: Money,
         storage_price: Money,
     ) -> Self {
+        #[allow(clippy::expect_used)]
         // flowtune-allow(panic-hygiene): documented contract: new panics on invalid tuner parameters
         tuner.validate().expect("invalid tuner configuration");
         GainModel {

@@ -6,6 +6,10 @@
 //! cargo run --release -p flowtune-core --example cost_explorer
 //! ```
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::{paired_objective, IndexPolicy, QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
 

@@ -7,6 +7,10 @@
 //!   dataflows at a lower cost-per-dataflow than NoRetry (the
 //!   `exp_fault_matrix` acceptance criterion).
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_cloud::FaultConfig;
 use flowtune_core::{
     IndexPolicy, QaasService, RecoveryConfig, RecoveryPolicyKind, RunReport, ServiceConfig,
@@ -16,11 +20,13 @@ use flowtune_dataflow::WorkloadKind;
 fn config(seed: u64, quanta: u64) -> ServiceConfig {
     // Mirror the `flowtune` CLI defaults so the golden numbers pinned
     // below match `flowtune --quanta N --seed S` exactly.
-    let mut c = ServiceConfig::default();
-    c.workload = WorkloadKind::paper_phases();
+    let mut c = ServiceConfig {
+        workload: WorkloadKind::paper_phases(),
+        policy: IndexPolicy::Gain { delete: true },
+        ..Default::default()
+    };
     c.params.total_quanta = quanta;
     c.params.seed = seed;
-    c.policy = IndexPolicy::Gain { delete: true };
     c
 }
 

@@ -14,15 +14,21 @@
 //! The smoke configuration mirrors the CLI invocation in `ci/check.sh`:
 //! `flowtune --quanta 4 --seed 1 --concurrency 1`.
 
+// Experiment/bench/example code fails fast on setup errors; panic-hygiene
+// (flowtune-analyze) scopes to library code, so asserting here is idiomatic.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use flowtune_core::{QaasService, ServiceConfig};
 use flowtune_dataflow::WorkloadKind;
 
 fn smoke_config() -> ServiceConfig {
-    let mut config = ServiceConfig::default();
-    config.workload = WorkloadKind::paper_phases();
+    let mut config = ServiceConfig {
+        workload: WorkloadKind::paper_phases(),
+        concurrency: 1,
+        ..Default::default()
+    };
     config.params.total_quanta = 4;
     config.params.seed = 1;
-    config.concurrency = 1;
     config
 }
 
