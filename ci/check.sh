@@ -25,6 +25,7 @@ cargo test -q --offline
 echo "==> fault determinism suite"
 cargo test -q --offline -p flowtune-cloud --test fault_determinism
 cargo test -q --offline -p flowtune-core --test fault_recovery
+cargo test -q --offline -p flowtune-core --test fault_crash_recovery
 
 echo "==> exp_fault_matrix --smoke"
 cargo run -q --offline --release -p flowtune-bench --bin exp_fault_matrix -- --smoke

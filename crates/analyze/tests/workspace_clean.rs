@@ -96,8 +96,8 @@ fn waiver_budget_is_pinned() {
         ("determinism", 1),
         ("golden-coverage", 1),
         ("newtype-discipline", 2),
-        ("obs-discipline", 8),
-        ("panic-hygiene", 14),
+        ("obs-discipline", 12),
+        ("panic-hygiene", 22),
     ]
     .into_iter()
     .map(|(r, n)| (r.to_owned(), n))

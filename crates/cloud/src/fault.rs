@@ -10,7 +10,7 @@
 //! retry count of *other* dataflows, and of how many draws the workload
 //! generators consume.
 //!
-//! Four fault classes are modelled (each gated by a share of the master
+//! Six fault classes are modelled (each gated by a share of the master
 //! `rate`):
 //!
 //! * **container revocation** — the provider takes a container back
@@ -21,11 +21,20 @@
 //! * **stragglers** — an operator's actual runtime is inflated ×k;
 //! * **build failures** — a build-index operator runs to completion but
 //!   produces a corrupt partition, which must be invalidated rather
-//!   than marked available.
+//!   than marked available;
+//! * **crash during build** — the build dies partway through, leaving a
+//!   partial page image whose tail pages were never flushed; the time
+//!   already spent is wasted compute;
+//! * **torn page writes** — the build completes but its last page image
+//!   write was torn mid-page, which only a post-crash checksum scan can
+//!   detect.
 //!
 //! A `rate` of zero is the *exact* pre-fault simulator: an inactive
 //! injector never draws from its stream and every fault branch is
 //! skipped, so reports are byte-identical to a run without the layer.
+//! The two crash-consistency classes additionally guard on their own
+//! probability, so configs predating them (share 0) replay their fault
+//! streams byte-identically too.
 
 use flowtune_common::{FlowtuneError, Result, SimRng, SimTime};
 
@@ -47,6 +56,12 @@ pub struct FaultConfig {
     pub straggler_share: f64,
     /// Per-completed-build corruption probability share.
     pub build_failure_share: f64,
+    /// Per-build crash-during-build probability share. Defaults to 0 so
+    /// pre-existing fault streams replay byte-identically.
+    pub crash_build_share: f64,
+    /// Per-completed-build torn-page-write probability share. Defaults
+    /// to 0 so pre-existing fault streams replay byte-identically.
+    pub torn_write_share: f64,
     /// Runtime inflation factor for straggling operators (≥ 1).
     pub straggler_factor: f64,
 }
@@ -60,6 +75,8 @@ impl Default for FaultConfig {
             storage_share: 0.25,
             straggler_share: 0.25,
             build_failure_share: 0.5,
+            crash_build_share: 0.0,
+            torn_write_share: 0.0,
             straggler_factor: 3.0,
         }
     }
@@ -94,6 +111,8 @@ impl FaultConfig {
             ("storage_share", self.storage_share),
             ("straggler_share", self.straggler_share),
             ("build_failure_share", self.build_failure_share),
+            ("crash_build_share", self.crash_build_share),
+            ("torn_write_share", self.torn_write_share),
         ] {
             if !(0.0..=1.0).contains(&share) {
                 return Err(FlowtuneError::config(format!(
@@ -245,6 +264,34 @@ impl FaultInjector {
         self.rng
             .chance(self.config.probability(self.config.build_failure_share))
     }
+
+    /// Whether the build crashes partway through; returns the fraction
+    /// of its runtime (and of its page image) completed before the
+    /// crash, strictly inside `(0, 1)`. Guards on its own probability
+    /// *before* drawing, so configs with `crash_build_share == 0`
+    /// consume nothing from the stream and replay pre-existing fault
+    /// patterns byte-identically.
+    pub fn crash_during_build(&mut self) -> Option<f64> {
+        if !self.is_active() {
+            return None;
+        }
+        let p = self.config.probability(self.config.crash_build_share);
+        if p <= 0.0 || !self.rng.chance(p) {
+            return None;
+        }
+        Some(self.rng.uniform_range(0.05, 0.95))
+    }
+
+    /// Whether a build that ran to completion tore its final page
+    /// write. Same own-probability guard as
+    /// [`FaultInjector::crash_during_build`].
+    pub fn torn_page_write(&mut self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let p = self.config.probability(self.config.torn_write_share);
+        p > 0.0 && self.rng.chance(p)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +310,8 @@ mod tests {
             assert_eq!(a.storage_retries(), 0);
             assert_eq!(a.straggler_factor(), 1.0);
             assert!(!a.build_failure());
+            assert_eq!(a.crash_during_build(), None);
+            assert!(!a.torn_page_write());
         }
         // The stream was never advanced: both injectors still agree on
         // the next raw draw of their (identical) seeds.
@@ -287,6 +336,46 @@ mod tests {
         assert_eq!(decide(plan.injector(3, 0)), decide(plan.injector(3, 0)));
         assert_ne!(decide(plan.injector(3, 0)), decide(plan.injector(3, 1)));
         assert_ne!(decide(plan.injector(4, 0)), decide(plan.injector(3, 0)));
+    }
+
+    #[test]
+    fn zero_share_crash_and_torn_draws_preserve_the_stream() {
+        // The crash-consistency classes guard on their own probability,
+        // so a config predating them (shares 0) must replay the exact
+        // same fault pattern even when the new draw sites are visited.
+        let plan = FaultPlan::new(FaultConfig::with_rate(0.8, 99));
+        let mut plain = plan.injector(5, 0);
+        let mut interleaved = plan.injector(5, 0);
+        for _ in 0..50 {
+            assert_eq!(interleaved.crash_during_build(), None);
+            assert!(!interleaved.torn_page_write());
+            assert_eq!(plain.build_failure(), interleaved.build_failure());
+            assert_eq!(plain.storage_retries(), interleaved.storage_retries());
+        }
+    }
+
+    #[test]
+    fn crash_fraction_is_strictly_partial() {
+        let config = FaultConfig {
+            rate: 1.0,
+            crash_build_share: 1.0,
+            torn_write_share: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let mut crashed = 0;
+        let mut torn = 0;
+        for _ in 0..100 {
+            if let Some(f) = inj.crash_during_build() {
+                assert!((0.05..0.95).contains(&f), "crash fraction {f}");
+                crashed += 1;
+            }
+            if inj.torn_page_write() {
+                torn += 1;
+            }
+        }
+        assert_eq!(crashed, 100, "share-1.0 crashes always fire");
+        assert_eq!(torn, 100, "share-1.0 torn writes always fire");
     }
 
     #[test]
@@ -342,6 +431,18 @@ mod tests {
         .is_err());
         assert!(FaultConfig {
             storage_share: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            crash_build_share: 1.2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            torn_write_share: -0.5,
             ..Default::default()
         }
         .validate()

@@ -31,5 +31,5 @@ pub mod sim;
 
 pub use fault::{FaultConfig, FaultInjector, FaultPlan};
 pub use perturb::perturb_dag;
-pub use report::ExecutionReport;
+pub use report::{CompletedBuild, CrashedBuild, ExecutionReport};
 pub use sim::{IndexAvailability, Simulator};

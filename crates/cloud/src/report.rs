@@ -12,6 +12,17 @@ pub struct CompletedBuild {
     pub finished_at: SimTime,
 }
 
+/// A build operator that crashed partway through, leaving a partial
+/// page image behind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashedBuild {
+    /// What was being built.
+    pub build: BuildRef,
+    /// Fraction of the build's runtime (and of its page image) that
+    /// completed before the crash, in `(0, 1)`.
+    pub fraction: f64,
+}
+
 /// What actually happened when a schedule was executed.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionReport {
@@ -55,6 +66,14 @@ pub struct ExecutionReport {
     /// partition; the partition must be invalidated, never marked
     /// available.
     pub failed_builds: Vec<BuildRef>,
+    /// Build operators that crashed partway through, leaving a partial
+    /// page image whose unflushed tail pages are missing from the
+    /// store; the compute already spent is wasted.
+    pub crashed_builds: Vec<CrashedBuild>,
+    /// Build operators that ran to completion but tore their final page
+    /// write — detectable only by the post-crash checksum scan, never
+    /// by the build's own exit status.
+    pub torn_builds: Vec<BuildRef>,
     /// Transient storage faults (reads reissued against the storage
     /// service).
     pub storage_faults: u64,
@@ -66,12 +85,15 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
-    /// Total build operators attempted (completed + killed + failed).
+    /// Total build operators attempted (completed + killed + failed +
+    /// crashed). Torn builds are *not* added: they ran to completion
+    /// and already appear in `completed_builds`.
     pub fn build_ops_attempted(&self) -> usize {
         self.completed_builds.len()
             + self.killed_builds.len()
             + self.fault_killed_builds.len()
             + self.failed_builds.len()
+            + self.crashed_builds.len()
     }
 
     /// True when every dataflow operator ran to completion.
@@ -121,6 +143,20 @@ mod tests {
             part: 1,
         });
         assert_eq!(r.build_ops_attempted(), 4);
+        // A crashed build is an attempt; a torn build already counts
+        // through completed_builds and must not be double-counted.
+        r.crashed_builds.push(CrashedBuild {
+            build: BuildRef {
+                index: IndexId(4),
+                part: 0,
+            },
+            fraction: 0.4,
+        });
+        r.torn_builds.push(BuildRef {
+            index: IndexId(0),
+            part: 0,
+        });
+        assert_eq!(r.build_ops_attempted(), 5);
         r.killed_ops.push(OpId(7));
         assert!(!r.completed());
     }

@@ -26,7 +26,7 @@ use flowtune_sched::{Assignment, BuildRef, Schedule};
 use flowtune_storage::LruCache;
 
 use crate::fault::FaultInjector;
-use crate::report::{CompletedBuild, ExecutionReport};
+use crate::report::{CompletedBuild, CrashedBuild, ExecutionReport};
 
 /// Which index partitions exist (and their sizes) at execution time.
 #[derive(Debug, Clone, Default)]
@@ -73,7 +73,7 @@ impl IndexAvailability {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum CacheKey {
     Partition(PartitionId),
     IndexPart(IndexId, u32),
@@ -403,8 +403,21 @@ impl<'a> Simulator<'a> {
                         let dur = build_durations.get(&build).copied().unwrap_or(a.duration());
                         let end = start + dur;
                         if end <= next_df_start && start < lease_end && end <= revoke_at {
-                            // Ran to completion — though the artifact may
-                            // still turn out corrupt.
+                            // The slot fits — but the build can still
+                            // crash mid-run, corrupt its artifact, or
+                            // tear its final page write.
+                            if let Some(fraction) = faults.crash_during_build() {
+                                // Died partway: the prefix of its page
+                                // image is flushed, the time is wasted,
+                                // and the slot frees up at the crash
+                                // instant.
+                                let ran = dur.mul_f64(fraction);
+                                report.crashed_builds.push(CrashedBuild { build, fraction });
+                                report.wasted_compute += ran;
+                                *busy.entry(c).or_insert(SimDuration::ZERO) += ran;
+                                cursor = start + ran;
+                                continue;
+                            }
                             if faults.build_failure() {
                                 report.failed_builds.push(build);
                             } else {
@@ -412,6 +425,12 @@ impl<'a> Simulator<'a> {
                                     build,
                                     finished_at: end,
                                 });
+                                if faults.torn_page_write() {
+                                    // Completed from the build's point
+                                    // of view — only the recovery scan
+                                    // can tell the image is torn.
+                                    report.torn_builds.push(build);
+                                }
                             }
                             *busy.entry(c).or_insert(SimDuration::ZERO) += dur;
                             cursor = end;
@@ -844,6 +863,79 @@ mod tests {
         assert_eq!(r.failed_builds.len(), 1);
         assert!(r.completed(), "build failure must not kill the dataflow");
         assert_eq!(r.makespan, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn crash_during_build_wastes_partial_compute() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let config = FaultConfig {
+            rate: 1.0,
+            revocation_share: 0.0,
+            storage_share: 0.0,
+            straggler_share: 0.0,
+            build_failure_share: 0.0,
+            crash_build_share: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let r = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        // The build dies partway: never completed, its partial runtime
+        // is wasted compute, and the dataflow itself is unharmed.
+        assert!(r.completed_builds.is_empty());
+        assert!(r.failed_builds.is_empty());
+        assert_eq!(r.crashed_builds.len(), 1);
+        let crash = r.crashed_builds[0];
+        assert!((0.05..0.95).contains(&crash.fraction));
+        let expect = SimDuration::from_secs(20).mul_f64(crash.fraction);
+        assert_eq!(r.wasted_compute, expect);
+        assert!(r.completed(), "build crash must not kill the dataflow");
+        assert_eq!(r.build_ops_attempted(), 1);
+    }
+
+    #[test]
+    fn torn_write_still_counts_as_completed() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let db = filedb();
+        let sim = Simulator::new(cfg(), &db);
+        let (dag, schedule) = stalled_with_build(20);
+        let config = FaultConfig {
+            rate: 1.0,
+            revocation_share: 0.0,
+            storage_share: 0.0,
+            straggler_share: 0.0,
+            build_failure_share: 0.0,
+            torn_write_share: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultPlan::new(config).injector(0, 0);
+        let r = sim
+            .execute_with_faults(
+                &dag,
+                &schedule,
+                &[],
+                &IndexAvailability::new(),
+                &BTreeMap::new(),
+                &mut inj,
+            )
+            .unwrap();
+        // A torn build looks successful to the executor — the tear is
+        // only visible to the recovery scan.
+        assert_eq!(r.completed_builds.len(), 1);
+        assert_eq!(r.torn_builds, vec![r.completed_builds[0].build]);
+        assert_eq!(r.build_ops_attempted(), 1);
+        assert_eq!(r.wasted_compute, SimDuration::ZERO);
     }
 
     #[test]

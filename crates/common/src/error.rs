@@ -18,6 +18,9 @@ pub enum FlowtuneError {
     NotFound(String),
     /// A storage-layer failure (partition missing, cache misuse, ...).
     Storage(String),
+    /// On-disk state failed verification (checksum mismatch, stale
+    /// epoch, truncated image, structural invariant violation).
+    Corrupt(String),
 }
 
 impl FlowtuneError {
@@ -45,6 +48,11 @@ impl FlowtuneError {
     pub fn storage(msg: impl Into<String>) -> Self {
         FlowtuneError::Storage(msg.into())
     }
+
+    /// Build a [`FlowtuneError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        FlowtuneError::Corrupt(msg.into())
+    }
 }
 
 impl fmt::Display for FlowtuneError {
@@ -55,6 +63,7 @@ impl fmt::Display for FlowtuneError {
             FlowtuneError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
             FlowtuneError::NotFound(m) => write!(f, "not found: {m}"),
             FlowtuneError::Storage(m) => write!(f, "storage error: {m}"),
+            FlowtuneError::Corrupt(m) => write!(f, "corrupt state: {m}"),
         }
     }
 }

@@ -75,6 +75,12 @@ define_id!(
     BuildOpId,
     "b"
 );
+define_id!(
+    /// A fixed-size page in a page store (the unit of checksumming,
+    /// caching, and torn-write detection).
+    PageId,
+    "p"
+);
 
 /// A partition of a table or file: `(file, part)` where `part` is the
 /// ordinal of the partition within the file.

@@ -39,6 +39,10 @@ OPTIONS:
     --deferred         enable deferred batch builds
     --fault-rate <F>   master fault rate in [0,1] (0 = no faults)     [0]
     --fault-seed <N>   seed of the dedicated fault stream             [default]
+    --crash-share <F>  crash-during-build probability share in [0,1]  [0]
+    --torn-share <F>   torn-page-write probability share in [0,1]     [0]
+    --calibrate-io     calibrate index cost models against measured
+                       page I/O of a real B+Tree build/probe run
     --recovery-policy <R>
                        no-retry | retry | retry-gain-penalty          [retry]
     --trace-out <PATH>    write the observability event trace (JSONL)
@@ -167,6 +171,17 @@ fn parse_args() -> Result<(ServiceConfig, bool, ObsOutputs), String> {
                     .parse()
                     .map_err(|e| format!("--fault-seed: {e}"))?
             }
+            "--crash-share" => {
+                config.faults.crash_build_share = value("--crash-share")?
+                    .parse()
+                    .map_err(|e| format!("--crash-share: {e}"))?
+            }
+            "--torn-share" => {
+                config.faults.torn_write_share = value("--torn-share")?
+                    .parse()
+                    .map_err(|e| format!("--torn-share: {e}"))?
+            }
+            "--calibrate-io" => config.calibrate_index_io = true,
             "--recovery-policy" => {
                 config.recovery.policy = RecoveryPolicyKind::parse(&value("--recovery-policy")?)
                     .map_err(|e| e.to_string())?
@@ -242,6 +257,12 @@ fn main() -> ExitCode {
             report.builds_failed, report.builds_killed_by_fault
         );
         println!("retries:             {}", report.retries);
+        println!("builds crashed:      {}", report.builds_crashed);
+        println!(
+            "verify scan:         {} pages, {} bad, {} partitions invalidated",
+            report.verify_pages_scanned, report.bad_pages_detected, report.partitions_invalidated
+        );
+        println!("rebuilds completed:  {}", report.rebuilds_completed);
         println!(
             "wasted:              {:.2} quanta / {}",
             report.wasted_compute_quanta.get(),

@@ -30,6 +30,6 @@ pub mod service;
 pub mod tablefmt;
 
 pub use policy::{IndexPolicy, InterleaverKind, SchedulerKind};
-pub use recovery::{remnant_dag, RecoveryConfig, RecoveryPolicyKind};
+pub use recovery::{remnant_dag, RebuildThrottle, RecoveryConfig, RecoveryPolicyKind};
 pub use report::{paired_objective, DataflowRecord, RunReport, TimelinePoint};
 pub use service::{QaasService, ServiceConfig};

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use flowtune_common::{FlowtuneError, OpId, Result, SimDuration};
+use flowtune_common::{FlowtuneError, IndexId, OpId, Result, SimDuration, SimTime};
 use flowtune_dataflow::{Dag, Edge, OpSpec};
 
 /// What the service does with a dataflow whose operators were killed.
@@ -145,6 +145,73 @@ impl RecoveryConfig {
     }
 }
 
+/// Per-partition rebuild state for the crash-recovery path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ThrottleEntry {
+    /// Consecutive invalidations of this partition.
+    failures: u32,
+    /// Rebuilds of the partition may not be offered before this instant.
+    eligible_at: SimTime,
+}
+
+/// Backoff gate for rebuilding partitions the recovery scan
+/// invalidated (torn pages, crash debris).
+///
+/// Without it the tuner re-offers an invalidated partition on the very
+/// next round, and a flaky storage layer turns into a tight
+/// build-invalidate loop. Each invalidation pushes the partition's
+/// eligibility out by [`RecoveryConfig::backoff_delay`] of its
+/// consecutive-failure count; a clean verified commit clears the
+/// entry.
+#[derive(Debug, Clone, Default)]
+pub struct RebuildThrottle {
+    entries: BTreeMap<(IndexId, u32), ThrottleEntry>,
+}
+
+impl RebuildThrottle {
+    /// An empty throttle (every partition eligible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invalidation of `(index, part)` at `now`; the next
+    /// rebuild offer is pushed out by the policy's capped exponential
+    /// backoff.
+    pub fn record_failure(
+        &mut self,
+        index: IndexId,
+        part: u32,
+        now: SimTime,
+        config: &RecoveryConfig,
+    ) {
+        let entry = self.entries.entry((index, part)).or_default();
+        entry.failures += 1;
+        entry.eligible_at = now + config.backoff_delay(entry.failures);
+    }
+
+    /// Record a clean verified commit of `(index, part)`. Returns true
+    /// when the partition had previously been invalidated — i.e. this
+    /// commit is a *rebuild* completing, not a first build.
+    pub fn record_success(&mut self, index: IndexId, part: u32) -> bool {
+        self.entries.remove(&(index, part)).is_some()
+    }
+
+    /// Whether a rebuild of `(index, part)` may be offered at `now`.
+    pub fn is_eligible(&self, index: IndexId, part: u32, now: SimTime) -> bool {
+        self.entries
+            .get(&(index, part))
+            .is_none_or(|e| now >= e.eligible_at)
+    }
+
+    /// Partitions currently under backoff at `now`.
+    pub fn throttled_count(&self, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|e| now < e.eligible_at)
+            .count()
+    }
+}
+
 /// The remnant of a killed dataflow: the killed operators as a fresh
 /// DAG (dense ids, internal edges only), ready for the skyline
 /// scheduler. Returns the remnant and the original `OpId` of each
@@ -240,6 +307,51 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn throttle_backs_off_exponentially_and_clears_on_success() {
+        let config = RecoveryConfig::default(); // base 5 s, ×2, cap 60 s
+        let mut t = RebuildThrottle::new();
+        let (idx, part) = (IndexId(3), 1);
+        assert!(
+            t.is_eligible(idx, part, SimTime::ZERO),
+            "untracked partition"
+        );
+        assert!(
+            !t.record_success(idx, part),
+            "clean first build is no rebuild"
+        );
+
+        t.record_failure(idx, part, SimTime::ZERO, &config);
+        assert!(!t.is_eligible(idx, part, SimTime::from_secs(4)));
+        assert!(t.is_eligible(idx, part, SimTime::from_secs(5)));
+        assert_eq!(t.throttled_count(SimTime::ZERO), 1);
+
+        // Second consecutive failure doubles the backoff.
+        t.record_failure(idx, part, SimTime::from_secs(5), &config);
+        assert!(!t.is_eligible(idx, part, SimTime::from_secs(14)));
+        assert!(t.is_eligible(idx, part, SimTime::from_secs(15)));
+
+        // A verified clean commit is a completed rebuild and resets
+        // the failure history entirely.
+        assert!(t.record_success(idx, part));
+        assert!(t.is_eligible(idx, part, SimTime::ZERO));
+        t.record_failure(idx, part, SimTime::from_secs(100), &config);
+        assert!(
+            t.is_eligible(idx, part, SimTime::from_secs(105)),
+            "history reset"
+        );
+    }
+
+    #[test]
+    fn throttle_is_per_partition() {
+        let config = RecoveryConfig::default();
+        let mut t = RebuildThrottle::new();
+        t.record_failure(IndexId(1), 0, SimTime::ZERO, &config);
+        assert!(!t.is_eligible(IndexId(1), 0, SimTime::ZERO));
+        assert!(t.is_eligible(IndexId(1), 1, SimTime::ZERO));
+        assert!(t.is_eligible(IndexId(2), 0, SimTime::ZERO));
     }
 
     #[test]

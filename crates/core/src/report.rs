@@ -74,6 +74,20 @@ pub struct RunReport {
     pub builds_failed: usize,
     /// Builds stopped mid-flight by a container revocation.
     pub builds_killed_by_fault: usize,
+    /// Builds that crashed partway through, leaving partial page images
+    /// (debris) the recovery scan must clean up.
+    pub builds_crashed: usize,
+    /// Pages the post-commit verification scan read back from the
+    /// persistent index page store.
+    pub verify_pages_scanned: u64,
+    /// Pages the verification scan found torn, missing, or stale.
+    pub bad_pages_detected: u64,
+    /// Index partitions invalidated by the verification scan (unmarked,
+    /// deleted from storage, queued for rebuild under backoff).
+    pub partitions_invalidated: usize,
+    /// Previously-invalidated partitions that later committed a clean,
+    /// verified image — the recovery loop closing.
+    pub rebuilds_completed: usize,
     /// Re-execution attempts across all dataflows.
     pub retries: usize,
     /// Compute time lost to faults (partial work discarded), in quanta.

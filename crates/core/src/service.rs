@@ -16,7 +16,9 @@ use flowtune_common::{
 use flowtune_dataflow::{
     filedb::ROW_BYTES, ArrivalClient, Dag, Dataflow, DataflowFactory, FileDatabase, WorkloadKind,
 };
-use flowtune_index::{IndexCatalog, IndexCostModel, IndexKind, IndexSpec};
+use flowtune_index::{
+    measure_io, IndexCatalog, IndexCostModel, IndexKind, IndexPageStore, IndexSpec,
+};
 use flowtune_interleave::{BuildOp, DeferredBuildQueue, LpInterleaver, OnlineInterleaver};
 use flowtune_sched::{
     BuildRef, OnlineLoadBalanceScheduler, Schedule, SchedulerConfig, SkylineScheduler,
@@ -25,7 +27,7 @@ use flowtune_storage::{ObjectKey, StorageService};
 use flowtune_tuner::{dataflow_index_gains, GainModel, HistoryEntry, OnlineTuner};
 
 use crate::policy::{IndexPolicy, InterleaverKind, SchedulerKind};
-use crate::recovery::{remnant_dag, RecoveryConfig};
+use crate::recovery::{remnant_dag, RebuildThrottle, RecoveryConfig};
 use crate::report::{RunReport, TimelinePoint};
 
 /// Full service configuration.
@@ -61,6 +63,10 @@ pub struct ServiceConfig {
     /// batches once their accumulated gain covers the dedicated lease
     /// (the paper's §7 "delayed building" future work).
     pub deferred_builds: bool,
+    /// Calibrate the index cost models against *measured* page I/O of
+    /// a real paged B+Tree build/probe run instead of the analytic
+    /// write-size estimate (see `flowtune_index::measured`).
+    pub calibrate_index_io: bool,
     /// Fault model injected at execution (rate 0 = the fault-free
     /// simulator, byte-identical to a run without the layer).
     pub faults: FaultConfig,
@@ -83,6 +89,7 @@ impl Default for ServiceConfig {
             concurrency: 4,
             adaptive_fading: false,
             deferred_builds: false,
+            calibrate_index_io: false,
             faults: FaultConfig::default(),
             recovery: RecoveryConfig::default(),
         }
@@ -101,6 +108,12 @@ pub struct QaasService {
     rng: SimRng,
     last_settle: SimTime,
     deferred: DeferredBuildQueue,
+    /// Paged on-"disk" images of committed index partitions — the
+    /// thing torn writes and build crashes physically corrupt and the
+    /// post-commit verification scan reads back.
+    index_store: IndexPageStore,
+    /// Backoff gate for partitions the verification scan invalidated.
+    throttle: RebuildThrottle,
 }
 
 impl QaasService {
@@ -109,7 +122,13 @@ impl QaasService {
     pub fn new(config: ServiceConfig) -> Self {
         let mut rng = SimRng::seed_from_u64(config.params.seed);
         let filedb = FileDatabase::generate(&mut rng);
-        let catalog = build_catalog(&filedb);
+        let mut catalog = build_catalog(&filedb);
+        if config.calibrate_index_io {
+            // One real paged-tree build/probe run; the observed page
+            // traffic replaces the analytic write-size estimate in
+            // every registered cost model.
+            catalog.calibrate_io(measure_io(5_000, 200, config.params.seed));
+        }
         let factory =
             DataflowFactory::new(filedb.clone(), config.params.ops_per_dataflow, rng.fork());
         let cloud = &config.params.cloud;
@@ -136,6 +155,8 @@ impl QaasService {
             rng,
             last_settle: SimTime::ZERO,
             deferred,
+            index_store: IndexPageStore::new(),
+            throttle: RebuildThrottle::new(),
         }
     }
 
@@ -212,7 +233,7 @@ impl QaasService {
             self.tuner.observe_uses(&used, issued);
             let pending = match self.config.policy {
                 IndexPolicy::NoIndex => Vec::new(),
-                IndexPolicy::Random => self.random_pending(),
+                IndexPolicy::Random => self.random_pending(issued),
                 IndexPolicy::Gain { delete } => {
                     // The queued dataflow plus every dataflow still
                     // running on another lane contribute at δT = 0.
@@ -233,6 +254,12 @@ impl QaasService {
                         for (part, duration, _) in self.catalog.remaining_build_ops(*idx) {
                             if ops.len() >= self.config.max_pending_build_ops {
                                 break 'outer;
+                            }
+                            // Partitions the recovery scan invalidated
+                            // sit out their backoff before being
+                            // offered for rebuild.
+                            if !self.throttle.is_eligible(*idx, part as u32, issued) {
+                                continue;
                             }
                             ops.push(BuildOp {
                                 id: BuildOpId(ops.len() as u32),
@@ -363,6 +390,9 @@ impl QaasService {
             // dataflow operator, i.e. later than `finish`.
             // Lanes finish out of order; storage is settled monotonically.
             let mut settled_to = finish.max(self.last_settle);
+            // Every page image touched this round, queued for the
+            // post-commit verification scan.
+            let mut to_verify: Vec<BuildRef> = Vec::new();
             for cb in &completed {
                 let at = (issued + (cb.finished_at - SimTime::ZERO)).max(self.last_settle);
                 settled_to = settled_to.max(at);
@@ -383,6 +413,35 @@ impl QaasService {
                         bytes,
                         at.min(horizon),
                     );
+                    // The partition materially lands as a run of
+                    // checksummed pages; a torn final write persists
+                    // the defect the scan below must find.
+                    if exec.torn_builds.contains(&cb.build) {
+                        self.index_store
+                            .write_partition_torn(cb.build.index, cb.build.part, bytes);
+                    } else {
+                        self.index_store
+                            .write_partition(cb.build.index, cb.build.part, bytes);
+                    }
+                    to_verify.push(cb.build);
+                }
+            }
+
+            // --- Crashed builds: the dead container flushed only a
+            // prefix of its page image. Nothing was marked built, but
+            // the debris occupies the page store until the scan
+            // clears it. ---
+            for crash in &exec.crashed_builds {
+                let part = crash.build.part as usize;
+                if !self.catalog.is_partition_built(crash.build.index, part) {
+                    let bytes = self.catalog.spec(crash.build.index).partition_bytes(part);
+                    self.index_store.write_partition_crashed(
+                        crash.build.index,
+                        crash.build.part,
+                        bytes,
+                        crash.fraction,
+                    );
+                    to_verify.push(crash.build);
                 }
             }
 
@@ -391,10 +450,69 @@ impl QaasService {
             for b in &exec.failed_builds {
                 let part = b.part as usize;
                 if self.catalog.unmark_built(b.index, part) {
-                    let at = finish.max(self.last_settle).min(horizon);
+                    // `settled_to`, not `finish`: a tail-slot commit may
+                    // already have settled storage past the dataflow's
+                    // finish, and settlement must move forward.
+                    let at = settled_to.min(horizon);
                     self.storage
                         .delete(&ObjectKey::IndexPart(b.index, b.part), at);
                 }
+            }
+
+            // --- Post-crash verification scan: read every page image
+            // touched this round back from the *persistent* store
+            // (buffered frames are not trusted) and verify checksum +
+            // epoch. Defective partitions are invalidated in the same
+            // round they committed, before any later dataflow's
+            // availability snapshot — a failing page is never probed.
+            to_verify.sort();
+            to_verify.dedup();
+            for b in &to_verify {
+                let Some(verdict) = self.index_store.verify_partition(b.index, b.part) else {
+                    continue;
+                };
+                report.verify_pages_scanned += verdict.pages_scanned;
+                flowtune_obs::count("storage.verify_pages", verdict.pages_scanned);
+                if verdict.is_clean() {
+                    if self.throttle.record_success(b.index, b.part) {
+                        report.rebuilds_completed += 1;
+                        // flowtune-allow(obs-discipline): only fires after an injected corruption; the smoke run is fault-free
+                        flowtune_obs::count("service.rebuilds_completed", 1);
+                    }
+                    continue;
+                }
+                report.bad_pages_detected += verdict.bad_pages.len() as u64;
+                report.partitions_invalidated += 1;
+                flowtune_obs::obs_event!(
+                    "service.partition_invalidated",
+                    index = b.index.0,
+                    part = b.part,
+                    bad_pages = verdict.bad_pages.len(),
+                    pages_scanned = verdict.pages_scanned,
+                );
+                // flowtune-allow(obs-discipline): only fires after an injected corruption; the smoke run is fault-free
+                flowtune_obs::count("service.partitions_invalidated", 1);
+                let part = b.part as usize;
+                if self.catalog.unmark_built(b.index, part) {
+                    // `settled_to`, not `finish`: the commit that wrote
+                    // this partition may have settled storage past the
+                    // dataflow's finish (tail-slot builds), and
+                    // settlement must move forward.
+                    let at = settled_to.min(horizon);
+                    self.storage
+                        .delete(&ObjectKey::IndexPart(b.index, b.part), at);
+                    // The build ran to commit and its output is now
+                    // discarded: the whole build time was compute spent
+                    // on work that must be redone.
+                    let burnt = self.catalog.spec(b.index).partition_build_time(part);
+                    report.wasted_compute_quanta += burnt.quanta(cloud.quantum);
+                    report.wasted_cost += cloud
+                        .vm_price_per_quantum
+                        .mul_f64(burnt.as_quanta(cloud.quantum));
+                }
+                self.index_store.delete_partition(b.index, b.part);
+                self.throttle
+                    .record_failure(b.index, b.part, finish, &self.config.recovery);
             }
 
             // --- History (Hd). ---
@@ -497,6 +615,11 @@ impl QaasService {
                                 bytes,
                                 commit,
                             );
+                            // Deferred batches run on dedicated paid
+                            // leases outside the fault layer, so their
+                            // images land clean.
+                            self.index_store
+                                .write_partition(op.build.index, op.build.part, bytes);
                             self.last_settle = commit;
                         }
                     }
@@ -563,7 +686,7 @@ impl QaasService {
 
     /// The "Random" baseline: pick a few random potential indexes and
     /// offer their remaining build ops with uninformative gains.
-    fn random_pending(&mut self) -> Vec<BuildOp> {
+    fn random_pending(&mut self, now: SimTime) -> Vec<BuildOp> {
         let mut ops = Vec::new();
         for _ in 0..3 {
             let idx =
@@ -571,6 +694,9 @@ impl QaasService {
             for (part, duration, _) in self.catalog.remaining_build_ops(idx) {
                 if ops.len() >= self.config.max_pending_build_ops {
                     return ops;
+                }
+                if !self.throttle.is_eligible(idx, part as u32, now) {
+                    continue;
                 }
                 ops.push(BuildOp {
                     id: BuildOpId(ops.len() as u32),
@@ -610,6 +736,7 @@ impl QaasService {
                 let at = now.max(self.last_settle);
                 self.storage
                     .delete(&ObjectKey::IndexPart(idx, part as u32), at);
+                self.index_store.delete_partition(idx, part as u32);
             }
         }
     }
@@ -645,6 +772,7 @@ fn absorb_fault_stats(report: &mut RunReport, exec: &ExecutionReport, quantum: S
     report.straggler_ops += exec.straggler_ops;
     report.builds_failed += exec.failed_builds.len();
     report.builds_killed_by_fault += exec.fault_killed_builds.len();
+    report.builds_crashed += exec.crashed_builds.len();
     report.wasted_compute_quanta += exec.wasted_compute.quanta(quantum);
     if !exec.completed() {
         // Every quantum leased by an attempt that did not complete is

@@ -157,6 +157,16 @@ impl IndexCatalog {
         &self.specs[id.index()]
     }
 
+    /// Attach measured build/probe I/O to every registered cost model,
+    /// switching build-time estimates from the analytic write-size
+    /// term to the observed per-row page traffic (see
+    /// `crate::measured`).
+    pub fn calibrate_io(&mut self, io: crate::model::MeasuredIo) {
+        for spec in &mut self.specs {
+            spec.model.measured_io = Some(io);
+        }
+    }
+
     /// State of an index.
     pub fn state(&self, id: IndexId) -> &IndexState {
         &self.states[id.index()]

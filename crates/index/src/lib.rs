@@ -14,9 +14,13 @@
 pub mod bptree;
 pub mod catalog;
 pub mod hash;
+pub mod measured;
 pub mod model;
+pub mod store;
 
-pub use bptree::BPlusTree;
+pub use bptree::{BPlusTree, NodeKey};
 pub use catalog::{IndexCatalog, IndexKind, IndexSpec, IndexState};
 pub use hash::HashIndex;
-pub use model::IndexCostModel;
+pub use measured::measure_io;
+pub use model::{IndexCostModel, MeasuredIo};
+pub use store::{IndexPageStore, PartitionVerdict};

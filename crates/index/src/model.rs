@@ -17,6 +17,22 @@
 
 use flowtune_common::{pricing, Money, Quanta, SimDuration};
 
+/// Measured build/probe I/O from a real paged-tree run (see
+/// `measured::measure_io`). When attached to a cost model the analytic
+/// I/O term switches from the asserted geometric-series estimate to
+/// these observed figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredIo {
+    /// Page bytes written to the store per indexed row during a bulk
+    /// build (encoded node pages ÷ rows).
+    pub write_bytes_per_row: f64,
+    /// Page bytes read from the store per cold point probe.
+    pub read_bytes_per_probe: f64,
+    /// Fraction of probe page loads served by the buffer pool once
+    /// warm (hits / (hits + misses)).
+    pub probe_hit_rate: f64,
+}
+
 /// Per-index cost model parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexCostModel {
@@ -30,6 +46,8 @@ pub struct IndexCostModel {
     pub cpu_per_record: f64,
     /// Network bandwidth in bytes/second for the I/O term.
     pub network_bandwidth: f64,
+    /// Measured build/probe I/O; `None` keeps the pure analytic model.
+    pub measured_io: Option<MeasuredIo>,
 }
 
 impl IndexCostModel {
@@ -44,7 +62,16 @@ impl IndexCostModel {
             block_bytes: 8192.0,
             cpu_per_record: 1e-6,
             network_bandwidth: 1e9 / 8.0,
+            measured_io: None,
         }
+    }
+
+    /// The same model with measured build/probe I/O attached; the
+    /// analytic write-size estimate in [`IndexCostModel::io_time`] is
+    /// replaced by the observed per-row page traffic.
+    pub fn with_measured_io(mut self, io: MeasuredIo) -> Self {
+        self.measured_io = Some(io);
+        self
     }
 
     /// Tree fan-out `k`: how many index records fit in one disk block.
@@ -64,9 +91,15 @@ impl IndexCostModel {
     }
 
     /// I/O part of the build time: read the table partition, write the
-    /// index partition.
+    /// index partition. With measured I/O attached the write side uses
+    /// the observed per-row page traffic instead of the analytic
+    /// geometric-series size.
     pub fn io_time(&self, rows: u64) -> SimDuration {
-        let bytes = rows as f64 * self.table_rec_bytes + self.size_bytes(rows) as f64;
+        let write_bytes = match self.measured_io {
+            Some(io) => rows as f64 * io.write_bytes_per_row,
+            None => self.size_bytes(rows) as f64,
+        };
+        let bytes = rows as f64 * self.table_rec_bytes + write_bytes;
         SimDuration::from_secs_f64(bytes / self.network_bandwidth)
     }
 
@@ -172,6 +205,26 @@ mod tests {
         let c = m.storage_cost(1_000_000, Quanta::new(2.0), price);
         let expect = pricing::storage_cost(m.size_bytes(1_000_000), 2.0, price);
         assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn measured_io_replaces_the_analytic_write_term() {
+        let base = orderkey_model();
+        let calibrated = orderkey_model().with_measured_io(MeasuredIo {
+            write_bytes_per_row: base.rec_bytes * 3.0,
+            read_bytes_per_probe: 12288.0,
+            probe_hit_rate: 0.9,
+        });
+        let rows = 1_000_000u64;
+        let expect = SimDuration::from_secs_f64(
+            (rows as f64 * base.table_rec_bytes + rows as f64 * base.rec_bytes * 3.0)
+                / base.network_bandwidth,
+        );
+        assert_eq!(calibrated.io_time(rows), expect);
+        // Measured traffic here is larger than the analytic estimate,
+        // so the calibrated build is strictly slower.
+        assert!(calibrated.io_time(rows) > base.io_time(rows));
+        assert!(calibrated.build_time(rows) > base.build_time(rows));
     }
 
     #[test]

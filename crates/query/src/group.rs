@@ -18,7 +18,7 @@ pub fn group_count_sort(col: &[i64]) -> Vec<(i64, u64)> {
 /// Group counts via B+Tree in-order traversal: `(key, count)` in key
 /// order, O(n) with no sort.
 pub fn group_count_index(index: &BPlusTree<i64>) -> Vec<(i64, u64)> {
-    run_lengths(index.iter().map(|(k, _)| *k))
+    run_lengths(index.iter().map(|(k, _)| k))
 }
 
 /// Group counts via hash aggregation, then sorted by key for a

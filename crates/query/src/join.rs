@@ -59,8 +59,8 @@ pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
 /// Merge join over two B+Trees: both sides stream out already sorted, so
 /// the join is `O(n + m)` — the indexed fast path.
 pub fn index_merge_join(left: &BPlusTree<i64>, right: &BPlusTree<i64>) -> Vec<(u32, u32)> {
-    let l: Vec<(i64, u32)> = left.iter().map(|(k, r)| (*k, r)).collect();
-    let r: Vec<(i64, u32)> = right.iter().map(|(k, r)| (*k, r)).collect();
+    let l: Vec<(i64, u32)> = left.iter().collect();
+    let r: Vec<(i64, u32)> = right.iter().collect();
     merge_sorted(&l, &r)
 }
 

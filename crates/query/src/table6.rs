@@ -65,7 +65,10 @@ pub fn measure_table6(rows: usize, seed: u64, runs: usize) -> Vec<SpeedupRow> {
         .map(|(i, k)| (*k, i as u32))
         .collect();
     pairs.sort_unstable();
-    let index = BPlusTree::bulk_build(64, &pairs);
+    // Pack nodes to the 4 KiB page: an i64 leaf holds 6 + 12·order
+    // payload bytes, so order 256 fills the page instead of leaving it
+    // ~80% empty at the default order — fewer page loads per scan.
+    let index = BPlusTree::bulk_build(256, &pairs);
 
     #[allow(clippy::expect_used)]
     // flowtune-allow(panic-hygiene): rows >= 1 is the documented contract of measure_table6

@@ -4,31 +4,52 @@
 //! storage service on its local disk (100 GB by default); when the cache
 //! fills, the least-recently-used object is evicted (§6.1). A hit means
 //! the operator's input transfer time is zero.
+//!
+//! The cache is also the eviction core of the page buffer pool
+//! (`pool::BufferPool`), which holds one entry per cached page frame.
+//! That use demands two properties the original container-cache role
+//! never exercised:
+//!
+//! * **complete eviction accounting** — every key that leaves the cache
+//!   through [`LruCache::insert`] is reported to the caller (including
+//!   a stale entry displaced by an uncacheable oversized re-insert,
+//!   which used to vanish silently) and tallied in
+//!   [`LruCache::evictions`], so a caller keeping per-key side state
+//!   (pool frames) can never leak or desynchronize;
+//! * **cheap victim selection** — a `BTreeSet` recency index keyed by
+//!   the unique use tick makes eviction `O(log n)` instead of a full
+//!   scan, and deterministic by construction (ticks never collide).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Byte-sized LRU cache keyed by `K`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LruCache<K> {
     capacity: u64,
     used: u64,
     /// key -> (bytes, last-use tick)
     entries: HashMap<K, (u64, u64)>,
+    /// (last-use tick, key), ordered oldest-first; ticks are unique,
+    /// so the minimum element is *the* LRU victim.
+    recency: BTreeSet<(u64, K)>,
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
-impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
+impl<K: std::hash::Hash + Eq + Ord + Clone> LruCache<K> {
     /// Create a cache with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
         LruCache {
             capacity,
             used: 0,
             entries: HashMap::new(),
+            recency: BTreeSet::new(),
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -36,7 +57,9 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
     pub fn get(&mut self, key: &K) -> bool {
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(key) {
+            self.recency.remove(&(entry.1, key.clone()));
             entry.1 = self.tick;
+            self.recency.insert((self.tick, key.clone()));
             self.hits += 1;
             true
         } else {
@@ -50,52 +73,61 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
         self.entries.contains_key(key)
     }
 
+    /// Remove `key` from both maps, returning its byte size.
+    fn take(&mut self, key: &K) -> Option<u64> {
+        let (bytes, tick) = self.entries.remove(key)?;
+        self.recency.remove(&(tick, key.clone()));
+        self.used -= bytes;
+        Some(bytes)
+    }
+
     /// Insert an object, evicting least-recently-used entries until it
-    /// fits. Objects larger than the whole cache are not cached at all.
-    /// Returns the evicted keys.
+    /// fits. Objects larger than the whole cache are not cached at all
+    /// — but a stale entry they displace *is* reported. Returns every
+    /// key evicted by this call (also tallied in
+    /// [`LruCache::evictions`]).
     pub fn insert(&mut self, key: K, bytes: u64) -> Vec<K> {
         self.tick += 1;
         let mut evicted = Vec::new();
         if bytes > self.capacity {
             // Can't fit even in an empty cache; treat as uncacheable.
-            if let Some((old, _)) = self.entries.remove(&key) {
-                self.used -= old;
+            // The old entry for this key (if any) still leaves the
+            // cache and must be visible to callers tracking side
+            // state per cached key.
+            if self.take(&key).is_some() {
+                self.evictions += 1;
+                evicted.push(key);
             }
             return evicted;
         }
-        if let Some((old, _)) = self.entries.remove(&key) {
-            self.used -= old;
-        }
-        #[allow(clippy::expect_used)]
+        self.take(&key);
         while self.used + bytes > self.capacity {
-            let lru = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k.clone())
-                .expect("cache overfull but empty"); // flowtune-allow(panic-hygiene): over-budget cache holds at least one entry, and the LRU key was just read from it
-            let (sz, _) = self.entries.remove(&lru).expect("lru key must exist");
-            self.used -= sz;
-            evicted.push(lru);
+            // Over budget with the new object not yet inserted: at
+            // least one entry exists, and the recency set's minimum
+            // is the unique LRU victim.
+            let Some((_, victim)) = self.recency.iter().next().cloned() else {
+                break;
+            };
+            self.take(&victim);
+            self.evictions += 1;
+            evicted.push(victim);
         }
-        self.entries.insert(key, (bytes, self.tick));
+        self.entries.insert(key.clone(), (bytes, self.tick));
+        self.recency.insert((self.tick, key));
         self.used += bytes;
         evicted
     }
 
     /// Remove an object (e.g. when its partition version is invalidated).
+    /// Explicit removal is not an eviction.
     pub fn remove(&mut self, key: &K) -> bool {
-        if let Some((bytes, _)) = self.entries.remove(key) {
-            self.used -= bytes;
-            true
-        } else {
-            false
-        }
+        self.take(key).is_some()
     }
 
     /// Drop everything (container deleted: local disk contents are lost).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.recency.clear();
         self.used = 0;
     }
 
@@ -128,6 +160,12 @@ impl<K: std::hash::Hash + Eq + Clone> LruCache<K> {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Keys evicted by [`LruCache::insert`] (capacity pressure plus
+    /// oversized-insert displacement), over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +192,7 @@ mod tests {
         assert!(c.get(&"a")); // a is now most recent
         let evicted = c.insert("d", 10);
         assert_eq!(evicted, vec!["b"]);
+        assert_eq!(c.evictions(), 1);
         assert!(c.contains(&"a"));
         assert!(c.contains(&"d"));
         assert_eq!(c.used_bytes(), 30);
@@ -166,14 +205,31 @@ mod tests {
         c.insert("a", 20);
         assert_eq!(c.used_bytes(), 20);
         assert_eq!(c.len(), 1);
+        // Shrinking a key in place is not an eviction.
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
     fn oversized_objects_are_not_cached() {
         let mut c = LruCache::new(10);
-        c.insert("big", 100);
+        assert!(c.insert("big", 100).is_empty());
         assert!(!c.contains(&"big"));
         assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_reinsert_reports_the_displaced_entry() {
+        // Regression: growing a cached object past the whole-cache
+        // capacity removes the old entry — the caller must hear about
+        // it, or side state keyed by cached keys leaks.
+        let mut c = LruCache::new(10);
+        c.insert("a", 5);
+        let evicted = c.insert("a", 100);
+        assert_eq!(evicted, vec!["a"]);
+        assert_eq!(c.evictions(), 1);
+        assert!(!c.contains(&"a"));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.len(), 0);
     }
 
     #[test]
@@ -187,6 +243,8 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.used_bytes(), 0);
+        // Removal and clearing are not evictions.
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
@@ -204,6 +262,111 @@ mod tests {
             // Internal bookkeeping consistent: re-deriving used from entries.
             let derived: u64 = (0u32..20).filter(|k| c.contains(k)).count() as u64;
             assert!(derived as usize == c.len());
+        }
+    }
+
+    /// Straight-line reference model: a recency-ordered `Vec` of
+    /// `(key, bytes)` with front = least recently used.
+    struct RefModel {
+        capacity: u64,
+        order: Vec<(u32, u64)>,
+        evictions: u64,
+    }
+
+    impl RefModel {
+        fn used(&self) -> u64 {
+            self.order.iter().map(|&(_, b)| b).sum()
+        }
+
+        fn get(&mut self, key: u32) -> bool {
+            if let Some(at) = self.order.iter().position(|&(k, _)| k == key) {
+                let e = self.order.remove(at);
+                self.order.push(e);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn insert(&mut self, key: u32, bytes: u64) -> Vec<u32> {
+            let mut evicted = Vec::new();
+            let had = self.order.iter().position(|&(k, _)| k == key);
+            if bytes > self.capacity {
+                if let Some(at) = had {
+                    self.order.remove(at);
+                    self.evictions += 1;
+                    evicted.push(key);
+                }
+                return evicted;
+            }
+            if let Some(at) = had {
+                self.order.remove(at);
+            }
+            while self.used() + bytes > self.capacity {
+                let (victim, _) = self.order.remove(0);
+                self.evictions += 1;
+                evicted.push(victim);
+            }
+            self.order.push((key, bytes));
+            evicted
+        }
+
+        fn remove(&mut self, key: u32) -> bool {
+            if let Some(at) = self.order.iter().position(|&(k, _)| k == key) {
+                self.order.remove(at);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_model_under_seeded_workload() {
+        // Seeded op soup over a small key universe, cross-checked
+        // against the straight-line model after every operation:
+        // identical eviction order, eviction counts, membership, and
+        // byte accounting — including oversized inserts and explicit
+        // removals. This pins the behavior the buffer pool builds on.
+        let mut rng = SimRng::seed_from_u64(0xE71C7);
+        for round in 0..60 {
+            let capacity = rng.uniform_u64(8, 96);
+            let mut c: LruCache<u32> = LruCache::new(capacity);
+            let mut m = RefModel {
+                capacity,
+                order: Vec::new(),
+                evictions: 0,
+            };
+            let n_ops = rng.uniform_u64(50, 400);
+            for op in 0..n_ops {
+                let key = rng.uniform_u64(0, 12) as u32;
+                match rng.uniform_u64(0, 10) {
+                    0..=5 => {
+                        // Sizes up to 1.5x capacity exercise the
+                        // oversized path too.
+                        let sz = rng.uniform_u64(1, capacity + capacity / 2);
+                        let got = c.insert(key, sz);
+                        let want = m.insert(key, sz);
+                        assert!(
+                            got == want,
+                            "round {round} op {op}: evicted {got:?}, reference {want:?}"
+                        );
+                    }
+                    6..=8 => {
+                        assert_eq!(c.get(&key), m.get(key), "round {round} op {op}: get {key}");
+                    }
+                    _ => {
+                        assert_eq!(c.remove(&key), m.remove(key), "round {round} op {op}");
+                    }
+                }
+                assert_eq!(c.used_bytes(), m.used(), "round {round} op {op}");
+                assert_eq!(c.len(), m.order.len(), "round {round} op {op}");
+                assert_eq!(c.evictions(), m.evictions, "round {round} op {op}");
+                assert!(c.used_bytes() <= c.capacity_bytes());
+                for &(k, _) in &m.order {
+                    assert!(c.contains(&k), "round {round} op {op}: missing {k}");
+                }
+            }
         }
     }
 }

@@ -18,6 +18,8 @@
 pub mod cache;
 pub mod column;
 pub mod lineitem;
+pub mod page;
+pub mod pool;
 pub mod schema;
 pub mod store;
 pub mod table;
@@ -26,6 +28,8 @@ pub mod value;
 pub use cache::LruCache;
 pub use column::ColumnData;
 pub use lineitem::{LineitemGenerator, LineitemParams};
+pub use page::{checksum64, MemPageStore, Page, PageCheck, PageStore, PAGE_PAYLOAD, PAGE_SIZE};
+pub use pool::{BufferPool, PoolStats};
 pub use schema::{Column, ColumnType, Schema};
 pub use store::{ObjectKey, StorageService};
 pub use table::{PartitionData, PartitionMeta, TableMeta};
