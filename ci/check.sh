@@ -46,6 +46,22 @@ cargo run -q --offline --release -p flowtune-bench --bin bench_sched -- \
   --smoke --out "$scratch/BENCH_sched.json"
 test -s "$scratch/BENCH_sched.json"
 
+echo "==> bench_interleave --smoke (interleaver perf baseline harness)"
+cargo run -q --offline --release -p flowtune-bench --bin bench_interleave -- \
+  --smoke --out "$scratch/BENCH_interleave.json"
+test -s "$scratch/BENCH_interleave.json"
+
+echo "==> committed perf baselines match the harness schemas"
+# The smoke runs above just wrote fresh documents; their schema lines
+# must agree with the committed full-run baselines, so a harness schema
+# bump cannot land without regenerating BENCH_sched.json and
+# BENCH_interleave.json (the speedup bars over the committed files live
+# in crates/bench/tests/bench_baselines.rs, under plain `cargo test`).
+diff <(grep '"schema"' "$scratch/BENCH_sched.json") \
+     <(grep '"schema"' BENCH_sched.json)
+diff <(grep '"schema"' "$scratch/BENCH_interleave.json") \
+     <(grep '"schema"' BENCH_interleave.json)
+
 echo "==> observability golden trace (smoke)"
 cargo run -q --offline --release -p flowtune-core --bin flowtune -- \
   --quanta 4 --seed 1 --concurrency 1 \

@@ -6,6 +6,13 @@
 //! in CI. The rule scans test targets and the check script for
 //! `tests/golden/<name>` path literals and cross-checks the directory
 //! listing.
+//!
+//! The committed perf baselines at the repository root (`BENCH_*.json`)
+//! get the same treatment: each must be read by a test or a check-script
+//! step (otherwise its speedup bars gate nothing), and every `BENCH_*`
+//! name a test mentions must exist. A `BENCH_` occurrence preceded by
+//! `/` is a scratch-copy path (e.g. `$scratch/BENCH_sched.json` in the
+//! smoke steps), not a reference to the committed file, and is ignored.
 
 use super::{Emitter, Rule};
 use crate::scan::FileKind;
@@ -21,12 +28,13 @@ impl Rule for GoldenCoverage {
     }
 
     fn description(&self) -> &'static str {
-        "tests/golden files and their test/ci references must match both ways"
+        "tests/golden files, BENCH_* perf baselines, and their test/ci references must match both ways"
     }
 
     fn check_workspace(&self, ws: &Workspace, em: &mut Emitter<'_>) {
         // All referenced paths, plus where each reference lives.
         let mut referenced: BTreeSet<String> = BTreeSet::new();
+        let mut bench_referenced: BTreeSet<String> = BTreeSet::new();
         for krate in &ws.crates {
             for file in &krate.files {
                 if file.kind != FileKind::Test {
@@ -43,6 +51,16 @@ impl Rule for GoldenCoverage {
                         }
                         referenced.insert(path);
                     }
+                    for name in bench_refs_in_line(raw) {
+                        if ws.baseline(&name).is_none() {
+                            em.emit(
+                                file,
+                                idx,
+                                format!("referenced perf baseline `{name}` does not exist"),
+                            );
+                        }
+                        bench_referenced.insert(name);
+                    }
                 }
             }
         }
@@ -58,6 +76,16 @@ impl Rule for GoldenCoverage {
                     }
                     referenced.insert(path);
                 }
+                for name in bench_refs_in_line(raw) {
+                    if ws.baseline(&name).is_none() {
+                        em.emit_raw(
+                            script.rel.clone(),
+                            idx + 1,
+                            format!("referenced perf baseline `{name}` does not exist"),
+                        );
+                    }
+                    bench_referenced.insert(name);
+                }
             }
         }
 
@@ -72,7 +100,42 @@ impl Rule for GoldenCoverage {
                 );
             }
         }
+        for baseline in &ws.baselines {
+            if !bench_referenced.contains(&baseline.rel) {
+                em.emit_raw(
+                    baseline.rel.clone(),
+                    1,
+                    "perf baseline is not referenced by any test or ci/check.sh; \
+                     its bars gate nothing"
+                        .to_owned(),
+                );
+            }
+        }
     }
+}
+
+/// Every root-level `BENCH_*.json` occurrence in one line of raw text.
+/// An occurrence preceded by `/` is a path component inside some other
+/// directory (a scratch copy), not the committed baseline, and is
+/// skipped.
+fn bench_refs_in_line(line: &str) -> Vec<String> {
+    const PREFIX: &str = "BENCH_";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = line[from..].find(PREFIX) {
+        let abs = from + at;
+        let preceded_by_slash = line[..abs].ends_with('/');
+        let tail = &line[abs + PREFIX.len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+            .unwrap_or(tail.len());
+        let name = &tail[..end];
+        if !preceded_by_slash && name.ends_with(".json") {
+            out.push(format!("{PREFIX}{name}"));
+        }
+        from = abs + PREFIX.len();
+    }
+    out
 }
 
 /// Every `tests/golden/<path>` occurrence in one line of raw text.
@@ -110,5 +173,22 @@ mod tests {
         // A bare directory mention is not a file reference.
         assert!(refs_in_line("ls tests/golden/ | wc -l").is_empty());
         assert!(refs_in_line("no goldens here").is_empty());
+    }
+
+    #[test]
+    fn extracts_bench_baseline_references() {
+        assert_eq!(
+            bench_refs_in_line(r#"let p = root.join("BENCH_sched.json");"#),
+            ["BENCH_sched.json"]
+        );
+        assert_eq!(
+            bench_refs_in_line("grep -q schema BENCH_sched.json BENCH_interleave.json"),
+            ["BENCH_sched.json", "BENCH_interleave.json"]
+        );
+        // A scratch-copy path is not a reference to the committed file.
+        assert!(bench_refs_in_line(r#"--out "$scratch/BENCH_sched.json""#).is_empty());
+        // A non-json mention (e.g. a schema name fragment) is skipped.
+        assert!(bench_refs_in_line("the BENCH_ prefix itself").is_empty());
+        assert!(bench_refs_in_line("no baselines here").is_empty());
     }
 }

@@ -43,6 +43,8 @@ pub struct Workspace {
     pub crates: Vec<CrateInfo>,
     /// Files under `<root>/tests/golden/`, sorted by path.
     pub goldens: Vec<AuxFile>,
+    /// Committed perf baselines: `<root>/BENCH_*.json`, sorted by path.
+    pub baselines: Vec<AuxFile>,
     /// `<root>/ci/check.sh`, when present.
     pub check_script: Option<AuxFile>,
 }
@@ -85,6 +87,27 @@ impl Workspace {
                 });
             }
         }
+        let mut baselines = Vec::new();
+        let mut bench_paths: Vec<PathBuf> = std::fs::read_dir(root)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name().is_some_and(|f| {
+                        let f = f.to_string_lossy();
+                        f.starts_with("BENCH_") && f.ends_with(".json")
+                    })
+            })
+            .collect();
+        bench_paths.sort();
+        for p in bench_paths {
+            baselines.push(AuxFile {
+                rel: rel_to(root, &p),
+                text: std::fs::read_to_string(&p)?,
+            });
+        }
+
         let check_path = root.join("ci/check.sh");
         let check_script = if check_path.is_file() {
             Some(AuxFile {
@@ -99,6 +122,7 @@ impl Workspace {
             root: root.to_path_buf(),
             crates,
             goldens,
+            baselines,
             check_script,
         })
     }
@@ -106,6 +130,12 @@ impl Workspace {
     /// The golden file with this root-relative path, if present.
     pub fn golden(&self, rel: &str) -> Option<&AuxFile> {
         self.goldens.iter().find(|g| g.rel == rel)
+    }
+
+    /// The committed perf baseline with this root-relative name, if
+    /// present.
+    pub fn baseline(&self, rel: &str) -> Option<&AuxFile> {
+        self.baselines.iter().find(|b| b.rel == rel)
     }
 }
 

@@ -94,10 +94,10 @@ fn waiver_budget_is_pinned() {
     let want: std::collections::BTreeMap<String, usize> = [
         ("cast-discipline", 1),
         ("determinism", 1),
-        ("golden-coverage", 1),
+        ("golden-coverage", 3),
         ("newtype-discipline", 2),
-        ("obs-discipline", 12),
-        ("panic-hygiene", 22),
+        ("obs-discipline", 13),
+        ("panic-hygiene", 23),
     ]
     .into_iter()
     .map(|(r, n)| (r.to_owned(), n))

@@ -6,9 +6,18 @@
 //! `flowtune.bench_sched.v1`, documented in `EXPERIMENTS.md`). The
 //! committed full-run file at the repository root pins the DESIGN §5f
 //! acceptance criterion: >= 2x median speedup on the 100-op
-//! scientific-DAG `schedule()` benchmark. The golden equivalence suite
-//! in `flowtune-sched` separately proves both implementations produce
-//! byte-identical skylines, so this binary only measures time.
+//! scientific-DAG `schedule()` benchmark (enforced by
+//! `tests/bench_baselines.rs`). The golden equivalence suite in
+//! `flowtune-sched` separately proves both implementations produce
+//! byte-identical skylines, so this binary only measures time — except
+//! at the 1k-op scale row, where the debug-mode suite cannot afford
+//! the reference and equivalence is re-asserted here in release mode
+//! before timing (DESIGN §5i).
+//!
+//! Scale grid (full mode): a 1k-op comparison row plus optimized-only
+//! 5k/10k rows (the reference needs tens of seconds *per run* at 1k
+//! and would need hours beyond it); the parallel expansion path is
+//! asserted equal to the sequential one at every scale-grid size.
 //!
 //! Flags:
 //!
@@ -17,27 +26,16 @@
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_sched.json` in the current directory).
 //!
-//! Exits nonzero if any benchmark fails to produce samples.
+//! Exits nonzero if any benchmark fails to produce samples or the
+//! reference implementation was never exercised.
 
-use flowtune_bench::micro::{run_captured, BenchStats};
+use flowtune_bench::compare::{compare, measure_standalone, parse_bench_args, render_json};
 use flowtune_common::{IndexId, OpId, SimDuration, SimRng};
 use flowtune_dataflow::{App, Dag};
 use flowtune_sched::reference::ReferenceSkylineScheduler;
 use flowtune_sched::skyline::OptionalOp;
 use flowtune_sched::{BuildRef, SchedulerConfig, SkylineScheduler};
 use std::hint::black_box;
-
-struct Comparison {
-    name: String,
-    optimized: BenchStats,
-    reference: BenchStats,
-}
-
-impl Comparison {
-    fn speedup(&self) -> f64 {
-        self.reference.median_ns / self.optimized.median_ns
-    }
-}
 
 fn optional_ops(n: u32, seed: u64) -> Vec<OptionalOp> {
     let mut rng = SimRng::seed_from_u64(seed);
@@ -53,45 +51,6 @@ fn optional_ops(n: u32, seed: u64) -> Vec<OptionalOp> {
         .collect()
 }
 
-/// Benchmark one scenario under both implementations; pushes both
-/// stats rows and the paired comparison. Returns false on a benchmark
-/// error (no samples).
-fn compare<F, G>(
-    name: &str,
-    samples: usize,
-    mut fast: F,
-    mut slow: G,
-    out: &mut Vec<Comparison>,
-    ok: &mut bool,
-) where
-    F: FnMut(),
-    G: FnMut(),
-{
-    let optimized = run_captured(&format!("sched/{name}"), samples, |b| b.iter(&mut fast));
-    let reference = run_captured(&format!("reference/{name}"), samples, |b| b.iter(&mut slow));
-    match (optimized, reference) {
-        (Some(optimized), Some(reference)) => {
-            let c = Comparison {
-                name: name.to_owned(),
-                optimized,
-                reference,
-            };
-            println!(
-                "{:<44} optimized {:>10.1} us   reference {:>10.1} us   speedup {:>5.2}x",
-                c.name,
-                c.optimized.median_ns / 1e3,
-                c.reference.median_ns / 1e3,
-                c.speedup()
-            );
-            out.push(c);
-        }
-        _ => {
-            eprintln!("error: benchmark {name} produced no samples");
-            *ok = false;
-        }
-    }
-}
-
 fn app_dag(app: App, ops: usize) -> Dag {
     app.generate(ops, &[], &mut SimRng::seed_from_u64(1))
 }
@@ -103,59 +62,13 @@ fn config(width: usize) -> SchedulerConfig {
     }
 }
 
-fn json_f64(v: f64) -> String {
-    format!("{v:.1}")
-}
-
-fn stats_json(s: &BenchStats) -> String {
-    format!(
-        "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
-        s.name,
-        json_f64(s.median_ns),
-        json_f64(s.min_ns),
-        json_f64(s.max_ns),
-        s.samples
-    )
-}
-
-fn render_json(mode: &str, ops: usize, comparisons: &[Comparison]) -> String {
-    let mut benchmarks = Vec::new();
-    let mut comps = Vec::new();
-    for c in comparisons {
-        benchmarks.push(stats_json(&c.optimized));
-        benchmarks.push(stats_json(&c.reference));
-        comps.push(format!(
-            "    {{\"name\": \"{}\", \"optimized_median_ns\": {}, \"reference_median_ns\": {}, \"speedup\": {:.2}}}",
-            c.name,
-            json_f64(c.optimized.median_ns),
-            json_f64(c.reference.median_ns),
-            c.speedup()
-        ));
-    }
-    format!
-    (
-        "{{\n  \"schema\": \"flowtune.bench_sched.v1\",\n  \"mode\": \"{mode}\",\n  \"dag_ops\": {ops},\n  \"benchmarks\": [\n{}\n  ],\n  \"comparisons\": [\n{}\n  ]\n}}\n",
-        benchmarks.join(",\n"),
-        comps.join(",\n"),
-    )
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let mut out_path = String::from("BENCH_sched.json");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--out" {
-            if let Some(p) = it.next() {
-                out_path = p.clone();
-            }
-        }
-    }
+    let (smoke, out_path) = parse_bench_args(&args, "BENCH_sched.json");
     let (ops, opt_n, samples) = if smoke { (30, 8, 3) } else { (100, 32, 15) };
     flowtune_bench::banner(
         "bench_sched",
-        "DESIGN 5f: incremental skyline search vs retained reference",
+        "DESIGN 5f/5i: incremental skyline search vs retained reference",
     );
     println!(
         "mode: {}   dag ops: {ops}   samples/bench: {samples}",
@@ -164,6 +77,7 @@ fn main() {
     println!();
 
     let mut comparisons = Vec::new();
+    let mut standalone = Vec::new();
     let mut ok = true;
 
     // Headline: schedule() on each application's 100-op DAG, width 8 —
@@ -173,6 +87,7 @@ fn main() {
         let fast = SkylineScheduler::new(config(8));
         let slow = ReferenceSkylineScheduler::new(config(8));
         compare(
+            "sched",
             &format!("schedule/{}", app.name()),
             samples,
             || {
@@ -193,6 +108,7 @@ fn main() {
         let fast = SkylineScheduler::new(config(8));
         let slow = ReferenceSkylineScheduler::new(config(8));
         compare(
+            "sched",
             "schedule_with_optional/montage",
             samples,
             || {
@@ -213,6 +129,7 @@ fn main() {
             let fast = SkylineScheduler::new(config(width));
             let slow = ReferenceSkylineScheduler::new(config(width));
             compare(
+                "sched",
                 &format!("width/{width}"),
                 samples,
                 || {
@@ -227,12 +144,83 @@ fn main() {
         }
     }
 
+    // Scale grid (DESIGN §5i). The comparison scale gets a release-mode
+    // equivalence re-assertion (the in-crate golden suite pins 60–100
+    // ops; the debug-mode reference is infeasible at 1k); every scale
+    // additionally asserts the forced-parallel expansion path equals
+    // the sequential one.
+    let (cmp_scale, solo_scales, scale_samples) = if smoke {
+        (60usize, vec![120usize], 3usize)
+    } else {
+        (1000, vec![5000, 10_000], 3)
+    };
+    {
+        let dag = app_dag(App::Montage, cmp_scale);
+        let fast = SkylineScheduler::new(config(8));
+        let slow = ReferenceSkylineScheduler::new(config(8));
+        println!("asserting optimized == reference at {cmp_scale} ops (one run each)...");
+        assert_eq!(
+            fast.schedule(&dag),
+            slow.schedule(&dag),
+            "optimized scheduler diverged from reference at {cmp_scale} ops"
+        );
+        compare(
+            "sched",
+            &format!("scale/montage/{cmp_scale}"),
+            scale_samples,
+            || {
+                black_box(fast.schedule(black_box(&dag)));
+            },
+            || {
+                black_box(slow.schedule(black_box(&dag)));
+            },
+            &mut comparisons,
+            &mut ok,
+        );
+    }
+    for n in solo_scales {
+        let dag = app_dag(App::Montage, n);
+        let fast = SkylineScheduler::new(config(8));
+        let par = SkylineScheduler::new(SchedulerConfig {
+            max_skyline: 8,
+            expand_threads: 4,
+            expand_threshold: 1,
+            ..SchedulerConfig::default()
+        });
+        println!("asserting parallel == sequential at {n} ops (one run each)...");
+        assert_eq!(
+            fast.schedule(&dag),
+            par.schedule(&dag),
+            "parallel expansion diverged from sequential at {n} ops"
+        );
+        measure_standalone(
+            "sched",
+            &format!("scale/montage/{n}"),
+            scale_samples,
+            || {
+                black_box(fast.schedule(black_box(&dag)));
+            },
+            &mut standalone,
+            &mut ok,
+        );
+    }
+
     if !ok {
         eprintln!("error: one or more benchmarks failed");
         std::process::exit(1);
     }
+    if comparisons.is_empty() {
+        eprintln!("error: the reference implementation was never exercised");
+        std::process::exit(1);
+    }
 
-    let json = render_json(if smoke { "smoke" } else { "full" }, ops, &comparisons);
+    let json = render_json(
+        "flowtune.bench_sched.v1",
+        if smoke { "smoke" } else { "full" },
+        &[("dag_ops", ops.to_string())],
+        &comparisons,
+        &standalone,
+    );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: writing {out_path}: {e}");
         std::process::exit(1);
@@ -241,12 +229,13 @@ fn main() {
     let headline: Vec<f64> = comparisons
         .iter()
         .filter(|c| c.name.starts_with("schedule/"))
-        .map(Comparison::speedup)
+        .map(|c| c.speedup())
         .collect();
     let min_headline = headline.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
-        "headline schedule() speedups: min {min_headline:.2}x across {} apps",
-        headline.len()
+        "headline schedule() speedups: min {min_headline:.2}x across {} apps   reference rows: {}",
+        headline.len(),
+        comparisons.len()
     );
     println!("wrote {out_path}");
 }

@@ -24,6 +24,7 @@
 //! summary (JSON) are written on exit. The metrics summary is the
 //! machine-readable seed for `BENCH_*.json`.
 
+pub mod compare;
 pub mod micro;
 
 /// Writes the observability outputs when dropped (end of `main`).

@@ -44,6 +44,7 @@ impl ExperimentSetup {
             quantum: self.params.cloud.quantum,
             vm_price: self.params.cloud.vm_price_per_quantum,
             network_bandwidth: self.params.cloud.network_bandwidth,
+            ..SchedulerConfig::default()
         }
     }
 

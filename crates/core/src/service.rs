@@ -644,6 +644,7 @@ impl QaasService {
             quantum: cloud.quantum,
             vm_price: cloud.vm_price_per_quantum,
             network_bandwidth: cloud.network_bandwidth,
+            ..SchedulerConfig::default()
         });
         scheduler.schedule(remnant).remove(0)
     }
@@ -657,6 +658,7 @@ impl QaasService {
             quantum: cloud.quantum,
             vm_price: cloud.vm_price_per_quantum,
             network_bandwidth: cloud.network_bandwidth,
+            ..SchedulerConfig::default()
         };
         match (self.config.scheduler, self.config.interleaver) {
             (SchedulerKind::OnlineLoadBalance, _) => {

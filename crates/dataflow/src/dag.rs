@@ -28,6 +28,11 @@ pub struct Dag {
     edges: Vec<Edge>,
     preds: Vec<Vec<OpId>>,
     succs: Vec<Vec<OpId>>,
+    /// Aligned with `preds`: `pred_bytes[to][k]` is the total bytes on
+    /// all `preds[to][k] -> to` edges. Schedulers probe edge weights
+    /// once per predecessor per candidate, so the lookup must not scan
+    /// the global edge list.
+    pred_bytes: Vec<Vec<u64>>,
 }
 
 impl Dag {
@@ -62,11 +67,28 @@ impl Dag {
             preds[e.to.index()].push(e.from);
             succs[e.from.index()].push(e.to);
         }
+        // Per-consumer edge-byte totals, duplicate edges summed — the
+        // same value the old `edge_bytes` linear scan produced.
+        let mut totals: Vec<std::collections::BTreeMap<OpId, u64>> =
+            vec![std::collections::BTreeMap::new(); n];
+        for e in &edges {
+            *totals[e.to.index()].entry(e.from).or_insert(0) += e.bytes;
+        }
+        let pred_bytes: Vec<Vec<u64>> = preds
+            .iter()
+            .enumerate()
+            .map(|(to, ps)| {
+                ps.iter()
+                    .map(|p| totals[to].get(p).copied().unwrap_or(0))
+                    .collect()
+            })
+            .collect();
         let dag = Dag {
             ops,
             edges,
             preds,
             succs,
+            pred_bytes,
         };
         // Kahn's algorithm detects cycles.
         if dag.topo_order().len() != n {
@@ -110,13 +132,27 @@ impl Dag {
         &self.succs[id.index()]
     }
 
-    /// Bytes flowing along edge `from -> to` (0 when absent).
+    /// Bytes flowing along edge `from -> to` (0 when absent), duplicate
+    /// edges summed. O(in-degree of `to`) via the prebuilt index — this
+    /// sits on the scheduler's per-candidate hot path.
     pub fn edge_bytes(&self, from: OpId, to: OpId) -> u64 {
-        self.edges
+        let Some(ps) = self.preds.get(to.index()) else {
+            return 0;
+        };
+        ps.iter()
+            .position(|&p| p == from)
+            .map(|k| self.pred_bytes[to.index()][k])
+            .unwrap_or(0)
+    }
+
+    /// Direct predecessors of `id` paired with the total bytes on each
+    /// `pred -> id` edge (aligned with [`Dag::preds`]; duplicate edges
+    /// carry the summed total on every occurrence).
+    pub fn preds_with_bytes(&self, id: OpId) -> impl Iterator<Item = (OpId, u64)> + '_ {
+        self.preds[id.index()]
             .iter()
-            .filter(|e| e.from == from && e.to == to)
-            .map(|e| e.bytes)
-            .sum()
+            .copied()
+            .zip(self.pred_bytes[id.index()].iter().copied())
     }
 
     /// Operators with no predecessors (entry nodes).
@@ -250,6 +286,41 @@ mod tests {
         assert_eq!(d.succs(OpId(0)), &[OpId(1), OpId(2)]);
         assert_eq!(d.edge_bytes(OpId(2), OpId(3)), 40);
         assert_eq!(d.edge_bytes(OpId(3), OpId(0)), 0);
+    }
+
+    #[test]
+    fn edge_bytes_index_matches_linear_scan_semantics() {
+        // Duplicate edges sum; the pred-aligned accessor carries the
+        // same totals the point lookup returns.
+        let d = Dag::new(
+            vec![op(0, 1), op(1, 1), op(2, 1)],
+            vec![
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 7,
+                },
+                Edge {
+                    from: OpId(1),
+                    to: OpId(2),
+                    bytes: 5,
+                },
+                Edge {
+                    from: OpId(0),
+                    to: OpId(2),
+                    bytes: 3,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.edge_bytes(OpId(0), OpId(2)), 10);
+        assert_eq!(d.edge_bytes(OpId(1), OpId(2)), 5);
+        assert_eq!(d.edge_bytes(OpId(1), OpId(0)), 0);
+        let got: Vec<(OpId, u64)> = d.preds_with_bytes(OpId(2)).collect();
+        // Aligned with `preds`: the duplicated (0 -> 2) edge appears
+        // twice, each occurrence carrying the summed total.
+        assert_eq!(got, vec![(OpId(0), 10), (OpId(1), 5), (OpId(0), 10)]);
+        assert!(d.preds_with_bytes(OpId(0)).next().is_none());
     }
 
     #[test]

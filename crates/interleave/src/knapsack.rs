@@ -8,6 +8,21 @@
 //! bound, plus a node budget that degrades gracefully to the greedy
 //! solution on adversarial instances (never reached at the paper's
 //! sizes).
+//!
+//! # Scale state (DESIGN §5i)
+//!
+//! The search keeps a per-`(depth, remaining-capacity)` state table
+//! that serves two purposes at once: **dominance pruning** (a prefix
+//! that reaches a state an earlier, at-least-as-valuable prefix already
+//! reached cannot improve the incumbent — its whole subtree is cut and
+//! counted in [`KnapsackSolution::pruned`]) and **bound memoization**
+//! (the Dantzig bound is a pure function of the state, so it is
+//! computed once per state instead of once per node). The table
+//! engages lazily, only after the search crosses a node threshold, so
+//! tiny searches (the common per-slot case) pay nothing for it. Both
+//! techniques are exact: unbudgeted solves are element-wise identical
+//! to the retained pre-optimization solver in [`crate::reference`],
+//! pinned by the golden equivalence suite in `equivalence_tests.rs`.
 
 /// Result of a knapsack solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +36,11 @@ pub struct KnapsackSolution {
     /// Branch-and-bound nodes expanded (0 when the greedy incumbent
     /// already met the LP bound and the search never ran a full pass).
     pub nodes: usize,
+    /// Nodes cut by dominance pruning: visits to a
+    /// (depth, remaining-capacity) state that an earlier, at-least-as-
+    /// valuable prefix had already explored. Always 0 in the
+    /// [`crate::reference`] solver, which has no state table.
+    pub pruned: usize,
 }
 
 /// Upper bound from the LP relaxation (items sorted by value density,
@@ -54,7 +74,9 @@ fn density(value: f64, size: u64) -> f64 {
 }
 
 /// Exact 0/1 knapsack via branch and bound with the LP-relaxation bound
-/// (Algorithm 3). Items with non-positive value are never chosen.
+/// (Algorithm 3), accelerated by per-state bound memoization and
+/// dominance pruning (module docs). Items with non-positive value are
+/// never chosen.
 ///
 /// `node_budget` caps the search; on exhaustion the best solution found
 /// so far (at least as good as density-greedy) is returned. The default
@@ -91,6 +113,26 @@ pub fn solve_knapsack_budgeted(
         }
     }
 
+    /// Per-(depth, remaining-capacity) search state: the best prefix
+    /// value that has reached it (dominance) and the memoized Dantzig
+    /// bound of its completion (a pure function of the key, so caching
+    /// cannot change any prune decision).
+    struct StateEntry {
+        prefix: f64,
+        bound: Option<f64>,
+    }
+
+    /// The state table engages only once the search has expanded this
+    /// many nodes. Small searches — the common per-slot case at the
+    /// paper's sizes, where bound pruning alone keeps the tree tiny —
+    /// pay one integer compare per node instead of a map insertion;
+    /// adversarial searches (equal densities, heavy state collisions)
+    /// blow through the threshold and get the full dominance +
+    /// memoization machinery, which caps them at O(items x capacity)
+    /// further states. Deterministic: node counts are a pure function
+    /// of the instance.
+    const STATE_TABLE_MIN_NODES: usize = 2048;
+
     struct Search<'a> {
         order: &'a [usize],
         sizes: &'a [u64],
@@ -99,7 +141,9 @@ pub fn solve_knapsack_budgeted(
         best_chosen: Vec<usize>,
         stack: Vec<usize>,
         nodes: usize,
+        pruned: usize,
         budget: usize,
+        states: std::collections::BTreeMap<(usize, u64), StateEntry>,
         /// LP bound at the root; reaching it proves optimality and ends
         /// the search (crucial for subset-sum-like instances whose equal
         /// densities defeat bound pruning).
@@ -123,6 +167,53 @@ pub fn solve_knapsack_budgeted(
             bound
         }
 
+        /// State-table lookup for an engaged (large) search: dominance
+        /// prune (`None`) or the memoized Dantzig bound (`Some`).
+        ///
+        /// Dominance: an earlier visit reached this exact
+        /// (depth, remaining) state with at least this prefix value.
+        /// The completions from here are the same item suffix over the
+        /// same capacity, so nothing below can beat what that visit's
+        /// subtree already established — `<=` is safe because
+        /// incumbent updates require a *strict* improvement (exactness
+        /// argument in DESIGN §5i). Lazy engagement only *withholds*
+        /// table entries for the first visits, never invents prunes,
+        /// so it cannot affect exactness either.
+        ///
+        /// Kept out of line so the table machinery does not bloat the
+        /// `dfs` hot path that small, never-engaging searches run.
+        #[inline(never)]
+        fn table_bound(&mut self, depth: usize, value: f64, remaining: u64) -> Option<f64> {
+            let cached_bound = match self.states.entry((depth, remaining)) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let s = e.get_mut();
+                    if value <= s.prefix {
+                        self.pruned += 1;
+                        return None;
+                    }
+                    s.prefix = value;
+                    s.bound
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(StateEntry {
+                        prefix: value,
+                        bound: None,
+                    });
+                    None
+                }
+            };
+            Some(match cached_bound {
+                Some(b) => b,
+                None => {
+                    let b = self.bound_from(depth, remaining);
+                    if let Some(s) = self.states.get_mut(&(depth, remaining)) {
+                        s.bound = Some(b);
+                    }
+                    b
+                }
+            })
+        }
+
         fn dfs(&mut self, depth: usize, value: f64, remaining: u64) {
             self.nodes += 1;
             if self.done || self.nodes > self.budget {
@@ -139,8 +230,16 @@ pub fn solve_knapsack_budgeted(
             if depth == self.order.len() {
                 return;
             }
-            if value + self.bound_from(depth, remaining) <= self.best_value {
-                return; // pruned by LP bound
+            let bound = if self.nodes > STATE_TABLE_MIN_NODES {
+                match self.table_bound(depth, value, remaining) {
+                    Some(b) => b,
+                    None => return, // dominance-pruned
+                }
+            } else {
+                self.bound_from(depth, remaining)
+            };
+            if value + bound <= self.best_value {
+                return; // pruned by the (memoized) LP bound
             }
             let i = self.order[depth];
             // Branch: take item i (if it fits), then skip it.
@@ -161,7 +260,9 @@ pub fn solve_knapsack_budgeted(
         best_chosen,
         stack: Vec::new(),
         nodes: 0,
+        pruned: 0,
         budget: node_budget,
+        states: std::collections::BTreeMap::new(),
         root_bound: 0.0,
         done: false,
     };
@@ -179,6 +280,7 @@ pub fn solve_knapsack_budgeted(
         value: search.best_value,
         size,
         nodes: search.nodes,
+        pruned: search.pruned,
     }
 }
 

@@ -17,12 +17,20 @@
 //!
 //! Plus the evaluation baselines of §6.4: a Graham-style greedy packer
 //! and the merged-slot knapsack upper bound.
+//!
+//! The knapsack search is accelerated by memoized Dantzig bounds and
+//! dominance pruning (DESIGN §5i); the pre-optimization solver is
+//! retained in [`reference`] (`cfg(test)` or the `reference` cargo
+//! feature) and golden tests pin element-wise identical solutions.
 
 pub mod buildop;
 pub mod deferred;
+mod equivalence_tests;
 pub mod knapsack;
 pub mod lp;
 pub mod online;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 
 pub use buildop::{BuildOp, BUILD_OP_ID_BASE};
 pub use deferred::{BatchBuild, DeferredBuildQueue};

@@ -36,6 +36,7 @@ impl LpInterleaver {
         let slots_offered = slots.len();
         let mut slots_filled = 0usize;
         let mut knapsack_nodes = 0u64;
+        let mut knapsack_pruned = 0u64;
         let mut remaining: Vec<BuildOp> = pending.to_vec();
         let mut placed = Vec::new();
         for slot in slots {
@@ -46,7 +47,9 @@ impl LpInterleaver {
             let gains: Vec<f64> = remaining.iter().map(|b| b.gain).collect();
             let sol = solve_knapsack(slot.duration().as_millis(), &sizes, &gains);
             knapsack_nodes += sol.nodes as u64;
+            knapsack_pruned += sol.pruned as u64;
             flowtune_obs::observe("interleave.knapsack_nodes", sol.nodes as f64);
+            flowtune_obs::observe("interleave.knapsack_pruned", sol.pruned as f64);
             if sol.chosen.is_empty() {
                 continue;
             }
@@ -82,6 +85,7 @@ impl LpInterleaver {
             pending = pending.len(),
             placed = placed.len(),
             knapsack_nodes = knapsack_nodes,
+            knapsack_pruned = knapsack_pruned,
         );
         flowtune_obs::count("interleave.slots_offered", slots_offered as u64);
         flowtune_obs::count("interleave.slots_filled", slots_filled as u64);

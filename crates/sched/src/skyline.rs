@@ -41,6 +41,30 @@
 //!   preempting an optional op never rewrites dataflow history; the
 //!   final assignment order of the legacy single list is reproduced at
 //!   materialization time from each optional op's interleave position.
+//!
+//! # Scale state (DESIGN §5i)
+//!
+//! Three additions keep 1k–10k-op DAGs tractable, still byte-identical
+//! to the reference:
+//!
+//! * **Chunked copy-on-write state.** [`OpState`] (per-op placement)
+//!   and [`AsgList`] (assignment history) store fixed-size chunks
+//!   behind `Arc`; a survivor clone copies pointer tables instead of
+//!   O(n_ops) payloads, so materialization cost stops growing with DAG
+//!   size (priced by `sched.partial_clone_bytes`).
+//! * **O(1) tie-break.** [`IdleTops`] memoizes each parent's two
+//!   largest per-container idle contributions once per reduction; a
+//!   candidate's tie-break value is a constant-time combine instead of
+//!   an O(containers) rescan.
+//! * **Deterministic parallel expansion.** Above
+//!   [`SchedulerConfig::expand_threshold`] candidates per step, an
+//!   [`ExpandPool`] shards the flattened candidate index space across
+//!   workers in fixed contiguous ranges and concatenates the results
+//!   in shard order — the candidate vector is byte-identical to the
+//!   sequential enumeration for every thread count.
+
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use flowtune_common::{ContainerId, Money, OpId, SimDuration, SimTime};
 use flowtune_dataflow::Dag;
@@ -60,6 +84,15 @@ pub struct SchedulerConfig {
     pub vm_price: Money,
     /// Network bandwidth (bytes/s) for inter-container edge transfers.
     pub network_bandwidth: f64,
+    /// Worker threads for parallel candidate expansion: `0` = one per
+    /// available core (capped at 8), `1` = always sequential. The
+    /// output is byte-identical for every value — threads only shard
+    /// the candidate enumeration (DESIGN §5i).
+    pub expand_threads: usize,
+    /// Minimum candidates in one step before the worker pool engages;
+    /// below it the per-step channel round-trip costs more than the
+    /// expansion itself.
+    pub expand_threshold: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +103,8 @@ impl Default for SchedulerConfig {
             quantum: SimDuration::from_secs(60),
             vm_price: Money::from_dollars(0.1),
             network_bandwidth: 1e9 / 8.0,
+            expand_threads: 0,
+            expand_threshold: 512,
         }
     }
 }
@@ -100,11 +135,108 @@ fn lease_quanta(s: SimTime, e: SimTime, quantum: SimDuration) -> u64 {
     (lease_end - lease_start).as_millis() / quantum.as_millis()
 }
 
+/// Per-op placement record: end time of the op and the container it ran
+/// on (`u32::MAX` = unassigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpSlot {
+    end: SimTime,
+    container: u32,
+}
+
+impl OpSlot {
+    const UNASSIGNED: OpSlot = OpSlot {
+        end: SimTime::ZERO,
+        container: u32::MAX,
+    };
+}
+
+/// Ops per shared [`OpState`] chunk. 64 slots × 16 bytes = 1 KiB — big
+/// enough to amortize the `Arc` bookkeeping, small enough that the
+/// copy-on-write clone of one chunk stays cheap.
+const OP_CHUNK: usize = 64;
+
+/// Chunked copy-on-write per-op placement state. Cloning a [`Partial`]
+/// used to memcpy two dense `n_ops`-sized vectors; at 10k ops that is
+/// ~120 KiB per surviving candidate per step. Chunks behind `Arc`
+/// shrink the clone to a pointer table (`n_ops / 64` words) — an
+/// assignment touches exactly one chunk, so `Arc::make_mut` copies at
+/// most 1 KiB no matter how large the DAG is.
+#[derive(Debug, Clone)]
+struct OpState {
+    chunks: Vec<Arc<[OpSlot; OP_CHUNK]>>,
+}
+
+impl OpState {
+    fn new(n_ops: usize) -> Self {
+        // Every chunk starts as a handle on one shared zeroed chunk;
+        // construction is O(n_ops / 64), not O(n_ops).
+        let zero: Arc<[OpSlot; OP_CHUNK]> = Arc::new([OpSlot::UNASSIGNED; OP_CHUNK]);
+        OpState {
+            chunks: vec![zero; n_ops.div_ceil(OP_CHUNK)],
+        }
+    }
+
+    fn get(&self, i: usize) -> OpSlot {
+        self.chunks[i / OP_CHUNK][i % OP_CHUNK]
+    }
+
+    fn set(&mut self, i: usize, slot: OpSlot) {
+        Arc::make_mut(&mut self.chunks[i / OP_CHUNK])[i % OP_CHUNK] = slot;
+    }
+
+    /// Bytes a clone of this state memcpys (the pointer table only —
+    /// chunk payloads are shared until written).
+    fn heap_bytes(&self) -> usize {
+        size_of::<usize>() * self.chunks.len()
+    }
+}
+
+/// Assignments per frozen [`AsgList`] chunk.
+const ASG_CHUNK: usize = 32;
+
+/// Append-only assignment list with a frozen, structurally shared
+/// prefix. The dataflow history of a partial schedule is immutable —
+/// only appended to — so full chunks are frozen behind `Arc` and shared
+/// by every descendant; a clone copies the pointer table plus the small
+/// mutable tail instead of the whole history.
+#[derive(Debug, Clone, Default)]
+struct AsgList {
+    frozen: Vec<Arc<[Assignment; ASG_CHUNK]>>,
+    tail: Vec<Assignment>,
+}
+
+impl AsgList {
+    fn len(&self) -> usize {
+        self.frozen.len() * ASG_CHUNK + self.tail.len()
+    }
+
+    fn push(&mut self, a: Assignment) {
+        self.tail.push(a);
+        if self.tail.len() == ASG_CHUNK {
+            let chunk: [Assignment; ASG_CHUNK] = std::array::from_fn(|i| self.tail[i]);
+            self.frozen.push(Arc::new(chunk));
+            self.tail.clear();
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Assignment> {
+        self.frozen
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+    }
+
+    /// Bytes a clone memcpys: the frozen pointer table plus the tail.
+    fn heap_bytes(&self) -> usize {
+        self.frozen.len() * size_of::<usize>() + self.tail.len() * size_of::<Assignment>()
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Partial {
     /// Dataflow assignments, in assignment (topological-step) order.
     /// Append-only: preemption never touches this list.
-    dataflow: Vec<Assignment>,
+    dataflow: AsgList,
     /// Surviving optional (build) assignments, each tagged with the
     /// number of dataflow ops assigned before it was placed — its
     /// interleave position when the final assignment list is merged.
@@ -123,10 +255,9 @@ pub(crate) struct Partial {
     /// tail gap (lease end − last op end) is derived on demand because
     /// the lease end moves with the span.
     gap_internal: Vec<SimDuration>,
-    /// End time of each dataflow op assigned so far (ZERO = unassigned).
-    op_end: Vec<SimTime>,
-    /// Container of each dataflow op.
-    op_container: Vec<u32>,
+    /// Placement (end time, container) of each dataflow op assigned so
+    /// far, in chunked copy-on-write storage.
+    ops: OpState,
     makespan: SimDuration,
     /// Cache: total billed quanta across containers. Updated by the
     /// touched container's lease-contribution delta on each assignment;
@@ -140,14 +271,13 @@ pub(crate) struct Partial {
 impl Partial {
     pub(crate) fn new(n_ops: usize) -> Self {
         Partial {
-            dataflow: Vec::new(),
+            dataflow: AsgList::default(),
             optional: Vec::new(),
             container_free: Vec::new(),
             container_span: Vec::new(),
             opt_free: Vec::new(),
             gap_internal: Vec::new(),
-            op_end: vec![SimTime::ZERO; n_ops],
-            op_container: vec![u32::MAX; n_ops],
+            ops: OpState::new(n_ops),
             makespan: SimDuration::ZERO,
             money: 0,
             skeleton: 0xcbf2_9ce4_8422_2325,
@@ -172,7 +302,10 @@ impl Partial {
     }
 
     /// Longest single idle gap across containers (tie-break criterion)
-    /// from the incremental per-container cache: O(containers).
+    /// from the incremental per-container cache: O(containers). The
+    /// search itself now reads [`IdleTops::best`]; tests pin this fold
+    /// (and thereby the memo) against `longest_sequential_idle`.
+    #[cfg(test)]
     pub(crate) fn idle_cached(&self, quantum: SimDuration) -> SimDuration {
         let mut best = SimDuration::ZERO;
         for (c, &(s, e)) in self.container_span.iter().enumerate() {
@@ -224,17 +357,18 @@ impl Partial {
     }
 
     /// Approximate heap bytes a clone of this partial copies (for the
-    /// `sched.partial_clone_bytes` counter).
+    /// `sched.partial_clone_bytes` counter). With chunked
+    /// copy-on-write storage this is the pointer tables plus the small
+    /// mutable tails, not the full per-op history.
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.dataflow.len() * size_of::<Assignment>()
+        self.dataflow.heap_bytes()
             + self.optional.len() * size_of::<(u32, Assignment)>()
             + self.container_free.len()
                 * (2 * size_of::<SimTime>()
                     + size_of::<(SimTime, SimTime)>()
                     + size_of::<SimDuration>())
-            + self.op_end.len() * size_of::<SimTime>()
-            + self.op_container.len() * size_of::<u32>()
+            + self.ops.heap_bytes()
     }
 
     /// Number of surviving optional (build) assignments.
@@ -253,9 +387,9 @@ impl Partial {
     /// whose index equals its recorded interleave position.
     pub(crate) fn into_schedule(self) -> Schedule {
         let mut out = Vec::with_capacity(self.dataflow.len() + self.optional.len());
-        let mut opts = self.optional.into_iter().peekable();
-        for (i, a) in self.dataflow.into_iter().enumerate() {
-            while let Some(&(pos, oa)) = opts.peek() {
+        let mut opts = self.optional.iter().copied().peekable();
+        for (i, &a) in self.dataflow.iter().enumerate() {
+            while let Some((pos, oa)) = opts.peek().copied() {
                 if pos as usize > i {
                     break;
                 }
@@ -306,6 +440,69 @@ struct Cand {
     idle: Option<SimDuration>,
 }
 
+/// One container's contribution to the idle tie-break: its longest
+/// internal gap or its billing-tail gap, zero for an empty span. The
+/// same fold step [`Partial::idle_cached`] runs per container.
+fn container_idle(
+    quantum: SimDuration,
+    s: SimTime,
+    e: SimTime,
+    free: SimTime,
+    gap: SimDuration,
+) -> SimDuration {
+    if e <= s {
+        return SimDuration::ZERO;
+    }
+    let lease_start = s.quantum_floor(quantum);
+    let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
+    let mut v = gap;
+    if lease_end > free {
+        v = v.max(lease_end - free);
+    }
+    v
+}
+
+/// Per-parent memo for the idle tie-break: the two largest
+/// per-container idle contributions plus the container holding the
+/// largest. A dataflow delta changes exactly one container's
+/// contribution, so the candidate's tie-break value is
+/// `max(new contribution, best over the others)` — and "best over the
+/// others" is `best` unless the touched container held it, in which
+/// case it is `second`. One O(containers) pass per parent replaces an
+/// O(containers) pass per tied candidate.
+#[derive(Debug, Clone, Copy)]
+struct IdleTops {
+    /// Largest contribution (equals [`Partial::idle_cached`]).
+    best: SimDuration,
+    /// Container holding `best` (`usize::MAX` when no container
+    /// contributes, so no candidate container ever matches it).
+    best_c: usize,
+    /// Largest contribution over the remaining containers; equals
+    /// `best` when two containers tie.
+    second: SimDuration,
+}
+
+impl IdleTops {
+    fn of(p: &Partial, quantum: SimDuration) -> IdleTops {
+        let mut tops = IdleTops {
+            best: SimDuration::ZERO,
+            best_c: usize::MAX,
+            second: SimDuration::ZERO,
+        };
+        for (c, &(s, e)) in p.container_span.iter().enumerate() {
+            let v = container_idle(quantum, s, e, p.container_free[c], p.gap_internal[c]);
+            if v > tops.best {
+                tops.second = tops.best;
+                tops.best = v;
+                tops.best_c = c;
+            } else if v > tops.second {
+                tops.second = v;
+            }
+        }
+        tops
+    }
+}
+
 impl SkylineScheduler {
     /// Create a scheduler with the given configuration.
     pub fn new(config: SchedulerConfig) -> Self {
@@ -328,28 +525,104 @@ impl SkylineScheduler {
             return vec![Schedule::new()];
         }
         let order = dag.topo_order();
+        // Per-(op, predecessor) transfer durations, computed once. The
+        // division producing each duration is the same one the old
+        // per-candidate recomputation ran, so every placement sees
+        // bit-identical times.
+        let pred_xfer: Vec<Vec<(OpId, SimDuration)>> = (0..dag.len())
+            .map(|i| {
+                dag.preds_with_bytes(OpId::from_index(i))
+                    .map(|(p, b)| (p, self.transfer_time(b)))
+                    .collect()
+            })
+            .collect();
+        let threads = self.effective_expand_threads();
+        let mut skyline = if threads > 1 {
+            // The worker pool lives for the whole schedule() call —
+            // per-step thread spawning would cost more than the steps.
+            std::thread::scope(|scope| {
+                let pool = ExpandPool::spawn(scope, threads, self, dag, &pred_xfer);
+                self.run_steps(dag, optional, &order, &pred_xfer, Some(&pool))
+            })
+        } else {
+            self.run_steps(dag, optional, &order, &pred_xfer, None)
+        };
+        skyline.sort_by_key(|p| (p.makespan, p.money));
+        skyline.into_iter().map(Partial::into_schedule).collect()
+    }
+
+    /// Resolved expansion thread count (see
+    /// [`SchedulerConfig::expand_threads`]). The count never changes
+    /// the output, only how the candidate enumeration is sharded.
+    fn effective_expand_threads(&self) -> usize {
+        match self.config.expand_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n.min(32),
+        }
+    }
+
+    /// Candidate containers for expanding `p`: every used container
+    /// plus one fresh container while under the fleet cap.
+    fn candidate_containers(&self, p: &Partial) -> usize {
+        let used = p.container_free.len();
+        if (used as u32) < self.config.max_containers {
+            used + 1
+        } else {
+            used
+        }
+    }
+
+    /// The assignment main loop: expand (sequentially or through the
+    /// pool), reduce, materialize, interleave optional offers.
+    fn run_steps(
+        &self,
+        dag: &Dag,
+        optional: &[OptionalOp],
+        order: &[OpId],
+        pred_xfer: &[Vec<(OpId, SimDuration)>],
+        pool: Option<&ExpandPool>,
+    ) -> Vec<Partial> {
         let n = order.len();
-        let mut skyline = vec![Partial::new(dag.len())];
+        let mut skyline = Arc::new(vec![Partial::new(dag.len())]);
         // Offer optional ops evenly across the assignment steps.
         let mut next_opt = 0usize;
         for (step, &op) in order.iter().enumerate() {
+            // Candidate-count prefix offsets per parent; the final
+            // entry is the step's total candidate count. Shared with
+            // the workers so a flattened candidate index maps to its
+            // (parent, container) pair.
+            let mut offsets: Vec<usize> = Vec::with_capacity(skyline.len() + 1);
+            let mut total = 0usize;
+            for p in skyline.iter() {
+                offsets.push(total);
+                total += self.candidate_containers(p);
+            }
+            offsets.push(total);
+            let xfer = &pred_xfer[op.index()];
             // Expand every partial with every candidate container —
             // as cheap deltas, not clones.
-            let mut cands: Vec<Cand> = Vec::new();
-            for (pi, p) in skyline.iter().enumerate() {
-                let used = p.container_free.len();
-                let candidates = if (used as u32) < self.config.max_containers {
-                    used + 1
-                } else {
-                    used
-                };
-                for c in 0..candidates {
-                    cands.push(self.dataflow_cand(p, pi, dag, op, c));
+            let cands: Vec<Cand> = match pool {
+                Some(pool) if total >= self.config.expand_threshold => {
+                    // flowtune-allow(obs-discipline): the pool engages only above the candidate threshold, which the smoke workload never reaches
+                    flowtune_obs::count("sched.parallel_steps", 1);
+                    pool.expand(self, dag, xfer, &skyline, op, offsets)
                 }
-            }
+                _ => {
+                    let mut cands = Vec::with_capacity(total);
+                    for (pi, p) in skyline.iter().enumerate() {
+                        for c in 0..self.candidate_containers(p) {
+                            cands.push(self.dataflow_cand(p, pi, dag, op, xfer, c));
+                        }
+                    }
+                    cands
+                }
+            };
             let generated = cands.len();
             let survivors = self.reduce(&skyline, cands);
-            skyline = self.materialize_all(&skyline, &survivors);
+            skyline = Arc::new(self.materialize_all(&skyline, &survivors));
             flowtune_obs::obs_event!(
                 "sched.step",
                 step = step,
@@ -367,16 +640,18 @@ impl SkylineScheduler {
             // Offer a proportional share of the optional queue.
             let opt_until = optional.len() * (step + 1) / n;
             while next_opt < opt_until {
-                skyline = self.offer_optional(skyline, &optional[next_opt]);
+                skyline = Arc::new(self.offer_optional(&skyline, &optional[next_opt]));
                 next_opt += 1;
             }
         }
         while next_opt < optional.len() {
-            skyline = self.offer_optional(skyline, &optional[next_opt]);
+            skyline = Arc::new(self.offer_optional(&skyline, &optional[next_opt]));
             next_opt += 1;
         }
-        skyline.sort_by_key(|p| (p.makespan, p.money));
-        skyline.into_iter().map(Partial::into_schedule).collect()
+        // The workers dropped their handles when their last job ended,
+        // so the unwrap is ordinarily free; the fallback clone keeps
+        // this panic-free regardless.
+        Arc::try_unwrap(skyline).unwrap_or_else(|shared| shared.as_ref().clone())
     }
 
     fn transfer_time(&self, bytes: u64) -> SimDuration {
@@ -386,16 +661,26 @@ impl SkylineScheduler {
     /// Evaluate assigning `op` to container `c` of `p` without cloning
     /// anything: placement times from the predecessor caches, money from
     /// the touched container's lease delta, the skeleton hash folded
-    /// forward, and the optional-op count after preemption.
-    fn dataflow_cand(&self, p: &Partial, parent: usize, dag: &Dag, op: OpId, c: usize) -> Cand {
+    /// forward, and the optional-op count after preemption. `xfer` is
+    /// the op's precomputed per-predecessor transfer-duration list.
+    fn dataflow_cand(
+        &self,
+        p: &Partial,
+        parent: usize,
+        dag: &Dag,
+        op: OpId,
+        xfer: &[(OpId, SimDuration)],
+        c: usize,
+    ) -> Cand {
         let quantum = self.config.quantum;
         let fresh = c == p.container_free.len();
         // Data-ready: every predecessor done, plus transfer when remote.
         let mut ready = SimTime::ZERO;
-        for &pred in dag.preds(op) {
-            let mut t = p.op_end[pred.index()];
-            if p.op_container[pred.index()] != c as u32 {
-                t += self.transfer_time(dag.edge_bytes(pred, op));
+        for &(pred, dt) in xfer {
+            let slot = p.ops.get(pred.index());
+            let mut t = slot.end;
+            if slot.container != c as u32 {
+                t += dt;
             }
             ready = ready.max(t);
         }
@@ -444,11 +729,12 @@ impl SkylineScheduler {
     }
 
     /// The candidate's idle tie-break value, from the parent's
-    /// per-container caches with the touched container's entry (and a
-    /// possible fresh container) overridden — O(containers), no clone.
-    /// Optional placements and identity candidates inherit the parent's
-    /// value unchanged: the tie-break only sees dataflow ops.
-    fn cand_idle(&self, p: &Partial, delta: &Delta) -> SimDuration {
+    /// memoized top-2 per-container idle contributions with the touched
+    /// container's entry (and a possible fresh container) overridden —
+    /// O(1) per candidate instead of O(containers). Optional placements
+    /// and identity candidates inherit the parent's value unchanged:
+    /// the tie-break only sees dataflow ops.
+    fn cand_idle(&self, tops: IdleTops, p: &Partial, delta: &Delta) -> SimDuration {
         let quantum = self.config.quantum;
         let (oc, ostart, oend) = match *delta {
             Delta::Dataflow {
@@ -457,40 +743,32 @@ impl SkylineScheduler {
                 end,
                 ..
             } => (container, start, end),
-            Delta::Optional { .. } | Delta::Keep => return p.idle_cached(quantum),
+            // The parent's best contribution IS its `idle_cached` value.
+            Delta::Optional { .. } | Delta::Keep => return tops.best,
         };
         let used = p.container_free.len();
-        let total = if oc == used { used + 1 } else { used };
-        let mut best = SimDuration::ZERO;
-        for c in 0..total {
-            let (s, e, free, gap) = if c == oc {
-                if c == used {
-                    // Fresh container: head gap from the lease start.
-                    (ostart, oend, oend, ostart - ostart.quantum_floor(quantum))
-                } else {
-                    let (ps, pe) = p.container_span[c];
-                    (
-                        ps.min(ostart),
-                        pe.max(oend),
-                        oend,
-                        p.gap_internal[c].max(ostart - p.container_free[c]),
-                    )
-                }
-            } else {
-                let (ps, pe) = p.container_span[c];
-                (ps, pe, p.container_free[c], p.gap_internal[c])
-            };
-            if e <= s {
-                continue;
-            }
-            let lease_start = s.quantum_floor(quantum);
-            let lease_end = e.quantum_ceil(quantum).max(lease_start + quantum);
-            best = best.max(gap);
-            if lease_end > free {
-                best = best.max(lease_end - free);
-            }
-        }
-        best
+        // Contribution of the touched container after the assignment.
+        let (s, e, free, gap) = if oc == used {
+            // Fresh container: head gap from the lease start.
+            (ostart, oend, oend, ostart - ostart.quantum_floor(quantum))
+        } else {
+            let (ps, pe) = p.container_span[oc];
+            (
+                ps.min(ostart),
+                pe.max(oend),
+                oend,
+                p.gap_internal[oc].max(ostart - p.container_free[oc]),
+            )
+        };
+        let touched = container_idle(quantum, s, e, free, gap);
+        // Max over the untouched containers: the parent's best, unless
+        // the touched container held it — then the runner-up.
+        let others = if oc == tops.best_c {
+            tops.second
+        } else {
+            tops.best
+        };
+        touched.max(others)
     }
 
     /// Materialize a surviving candidate: one clone of its parent plus
@@ -537,8 +815,13 @@ impl SkylineScheduler {
                 q.opt_free[c] = q.opt_free[c].max(end);
                 let (s, e) = q.container_span[c];
                 q.container_span[c] = (s.min(start), e.max(end));
-                q.op_end[op.index()] = end;
-                q.op_container[op.index()] = c as u32;
+                q.ops.set(
+                    op.index(),
+                    OpSlot {
+                        end,
+                        container: c as u32,
+                    },
+                );
             }
             Delta::Optional {
                 op,
@@ -577,7 +860,7 @@ impl SkylineScheduler {
 
     /// Union each partial with versions that place `opt` on some
     /// container's free tail inside the current leased span.
-    fn offer_optional(&self, skyline: Vec<Partial>, opt: &OptionalOp) -> Vec<Partial> {
+    fn offer_optional(&self, skyline: &[Partial], opt: &OptionalOp) -> Vec<Partial> {
         let quantum = self.config.quantum;
         let mut cands: Vec<Cand> = Vec::with_capacity(skyline.len() * 2);
         for (pi, p) in skyline.iter().enumerate() {
@@ -619,8 +902,8 @@ impl SkylineScheduler {
                 idle: None,
             });
         }
-        let survivors = self.reduce(&skyline, cands);
-        self.materialize_all(&skyline, &survivors)
+        let survivors = self.reduce(skyline, cands);
+        self.materialize_all(skyline, &survivors)
     }
 
     /// Skyline reduction over candidates: collapse equal (time, money)
@@ -630,7 +913,11 @@ impl SkylineScheduler {
     /// the tie-break value is computed lazily and memoized per
     /// candidate.
     fn reduce(&self, skyline: &[Partial], mut cands: Vec<Cand>) -> Vec<Cand> {
+        let quantum = self.config.quantum;
         cands.sort_by_key(|c| (c.makespan, c.money));
+        // Lazy per-parent top-2 idle memo: computed once for a parent
+        // the first time one of its candidates hits a tie.
+        let mut tops: Vec<Option<IdleTops>> = vec![None; skyline.len()];
         // Collapse ties.
         let mut collapsed: Vec<Cand> = Vec::new();
         for mut p in cands {
@@ -641,13 +928,17 @@ impl SkylineScheduler {
                     // between skeleton-equivalent candidates does the
                     // optional-operator count decide (§5.3.2).
                     let (pp, pd) = (p.parent, p.delta);
-                    let p_idle = *p
-                        .idle
-                        .get_or_insert_with(|| self.cand_idle(&skyline[pp], &pd));
+                    let p_idle = *p.idle.get_or_insert_with(|| {
+                        let t =
+                            *tops[pp].get_or_insert_with(|| IdleTops::of(&skyline[pp], quantum));
+                        self.cand_idle(t, &skyline[pp], &pd)
+                    });
                     let (lp, ld) = (last.parent, last.delta);
-                    let last_idle = *last
-                        .idle
-                        .get_or_insert_with(|| self.cand_idle(&skyline[lp], &ld));
+                    let last_idle = *last.idle.get_or_insert_with(|| {
+                        let t =
+                            *tops[lp].get_or_insert_with(|| IdleTops::of(&skyline[lp], quantum));
+                        self.cand_idle(t, &skyline[lp], &ld)
+                    });
                     let better = match p_idle.cmp(&last_idle) {
                         std::cmp::Ordering::Greater => {
                             flowtune_obs::count("sched.tiebreak_idle", 1);
@@ -711,12 +1002,151 @@ impl SkylineScheduler {
         front
     }
 
+    /// Per-predecessor transfer durations for one op (the list
+    /// [`SkylineScheduler::schedule_with_optional`] precomputes for
+    /// every op up front).
+    #[cfg(test)]
+    fn op_xfer(&self, dag: &Dag, op: OpId) -> Vec<(OpId, SimDuration)> {
+        dag.preds_with_bytes(op)
+            .map(|(p, b)| (p, self.transfer_time(b)))
+            .collect()
+    }
+
     /// Test-only convenience mirroring the legacy single-shot
     /// assignment: evaluate the candidate and materialize it.
     #[cfg(test)]
     pub(crate) fn assign_dataflow_op(&self, p: &Partial, dag: &Dag, op: OpId, c: usize) -> Partial {
-        let cand = self.dataflow_cand(p, 0, dag, op, c);
+        let xfer = self.op_xfer(dag, op);
+        let cand = self.dataflow_cand(p, 0, dag, op, &xfer, c);
         self.materialize(p, &cand)
+    }
+}
+
+/// One expansion job: the shard `[lo, hi)` of the step's flattened
+/// candidate index space, against a shared snapshot of the skyline.
+struct ExpandJob {
+    skyline: Arc<Vec<Partial>>,
+    op: OpId,
+    lo: usize,
+    hi: usize,
+    /// Candidate-count prefix offsets per parent with the total as the
+    /// final entry; maps a flattened index back to (parent, container).
+    offsets: Arc<Vec<usize>>,
+}
+
+/// Deterministic parallel candidate expansion (DESIGN §5i).
+///
+/// Workers are spawned once per `schedule()` call inside a
+/// `std::thread::scope` and fed one contiguous shard of the step's
+/// flattened candidate index space each. Because the shards partition
+/// `0..total` in worker order and the results are concatenated in the
+/// same order, the candidate vector is byte-identical to the
+/// sequential enumeration — for any thread count, on any machine. The
+/// workers never touch observability (the recorder is thread-local to
+/// the caller) and never mutate shared state: they read the skyline
+/// snapshot and return owned `Cand` vectors.
+struct ExpandPool {
+    jobs: Vec<mpsc::Sender<ExpandJob>>,
+    results: mpsc::Receiver<(usize, Vec<Cand>)>,
+}
+
+/// Map a flattened candidate index to its parent via the offset table
+/// (last entry = total): the parent is the rightmost offset <= k.
+fn parent_of(offsets: &[usize], k: usize) -> usize {
+    offsets.partition_point(|&o| o <= k) - 1
+}
+
+impl ExpandPool {
+    fn spawn<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        threads: usize,
+        sched: &'env SkylineScheduler,
+        dag: &'env Dag,
+        pred_xfer: &'env [Vec<(OpId, SimDuration)>],
+    ) -> ExpandPool {
+        let (result_tx, results) = mpsc::channel::<(usize, Vec<Cand>)>();
+        let mut jobs = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = mpsc::channel::<ExpandJob>();
+            jobs.push(tx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let xfer = &pred_xfer[job.op.index()];
+                    let mut out = Vec::with_capacity(job.hi - job.lo);
+                    for k in job.lo..job.hi {
+                        let pi = parent_of(&job.offsets, k);
+                        let c = k - job.offsets[pi];
+                        out.push(sched.dataflow_cand(&job.skyline[pi], pi, dag, job.op, xfer, c));
+                    }
+                    if result_tx.send((w, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // Drop the main-thread result sender so `recv` can observe
+        // disconnection instead of blocking forever if workers die.
+        drop(result_tx);
+        ExpandPool { jobs, results }
+    }
+
+    /// Expand one step's candidates across the pool. Always returns
+    /// the full, ordered candidate vector: any shard a worker failed to
+    /// deliver (unreachable in practice — the workers run pure
+    /// computation) is recomputed inline.
+    fn expand(
+        &self,
+        sched: &SkylineScheduler,
+        dag: &Dag,
+        xfer: &[(OpId, SimDuration)],
+        skyline: &Arc<Vec<Partial>>,
+        op: OpId,
+        offsets: Vec<usize>,
+    ) -> Vec<Cand> {
+        let total = offsets.last().copied().unwrap_or(0);
+        let threads = self.jobs.len();
+        let chunk = total.div_ceil(threads.max(1));
+        let offsets = Arc::new(offsets);
+        let mut sent = 0usize;
+        for (w, tx) in self.jobs.iter().enumerate() {
+            let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
+            if lo >= hi {
+                continue;
+            }
+            let job = ExpandJob {
+                skyline: Arc::clone(skyline),
+                op,
+                lo,
+                hi,
+                offsets: Arc::clone(&offsets),
+            };
+            if tx.send(job).is_ok() {
+                sent += 1;
+            }
+        }
+        let mut shards: Vec<Option<Vec<Cand>>> = (0..threads).map(|_| None).collect();
+        for _ in 0..sent {
+            match self.results.recv() {
+                Ok((w, out)) => shards[w] = Some(out),
+                Err(_) => break,
+            }
+        }
+        let mut cands = Vec::with_capacity(total);
+        for (w, shard) in shards.into_iter().enumerate() {
+            match shard {
+                Some(out) => cands.extend(out),
+                None => {
+                    let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
+                    for k in lo..hi.max(lo) {
+                        let pi = parent_of(&offsets, k);
+                        let c = k - offsets[pi];
+                        cands.push(sched.dataflow_cand(&skyline[pi], pi, dag, op, xfer, c));
+                    }
+                }
+            }
+        }
+        cands
     }
 }
 
@@ -1032,7 +1462,8 @@ mod tests {
                 let c = rng.uniform_u64(0, used as u64 + 1) as usize;
                 // The candidate's objectives must match what its
                 // materialization then caches.
-                let cand = sched.dataflow_cand(&p, 0, &dag, OpId(i as u32), c);
+                let xfer = sched.op_xfer(&dag, OpId(i as u32));
+                let cand = sched.dataflow_cand(&p, 0, &dag, OpId(i as u32), &xfer, c);
                 p = sched.materialize(&p, &cand);
                 assert_eq!(p.money, p.money_quanta(quantum), "round {round} step {i}");
                 assert_eq!(
@@ -1075,7 +1506,8 @@ mod tests {
                 for p in &skyline {
                     let used = p.container_free.len();
                     let c = rng.uniform_u64(0, used as u64 + 1) as usize;
-                    let cand = sched.dataflow_cand(p, 0, &dag, OpId(i as u32), c);
+                    let xfer = sched.op_xfer(&dag, OpId(i as u32));
+                    let cand = sched.dataflow_cand(p, 0, &dag, OpId(i as u32), &xfer, c);
                     let q = sched.materialize(p, &cand);
                     assert_eq!(
                         cand.optional_count,
@@ -1096,7 +1528,7 @@ mod tests {
                         },
                     };
                     opt_id += 1;
-                    skyline = sched.offer_optional(skyline, &opt);
+                    skyline = sched.offer_optional(&skyline, &opt);
                 }
                 for p in &skyline {
                     let schedule = p.clone().into_schedule();
@@ -1106,7 +1538,7 @@ mod tests {
                         "optional accounting drifted (round {round})"
                     );
                     for (_, b) in &p.optional {
-                        for a in &p.dataflow {
+                        for a in p.dataflow.iter() {
                             assert!(
                                 a.container != b.container || b.end <= a.start || a.end <= b.start,
                                 "surviving build overlaps dataflow op (round {round})"
