@@ -62,6 +62,13 @@ diff <(grep '"schema"' "$scratch/BENCH_sched.json") \
 diff <(grep '"schema"' "$scratch/BENCH_interleave.json") \
      <(grep '"schema"' BENCH_interleave.json)
 
+echo "==> exp_table6_composite --smoke (composite speedup matrix vs golden)"
+# The smoke report is fully deterministic (modelled costs and
+# touched-row counts, no wall times), so it diffs byte-for-byte.
+cargo run -q --offline --release -p flowtune-bench --bin exp_table6_composite -- \
+  --smoke > "$scratch/table6_composite.txt"
+diff -u tests/golden/table6_composite_smoke.txt "$scratch/table6_composite.txt"
+
 echo "==> observability golden trace (smoke)"
 cargo run -q --offline --release -p flowtune-core --bin flowtune -- \
   --quanta 4 --seed 1 --concurrency 1 \

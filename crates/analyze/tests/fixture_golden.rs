@@ -79,6 +79,10 @@ fn fixture_findings_match_golden_list() {
         ("crates/sched/src/skyline.rs", 6, "ordered-iteration"),
         ("crates/sched/src/skyline.rs", 9, "ordered-iteration"),
         ("crates/sched/src/skyline.rs", 14, "panic-hygiene"),
+        // The composite-candidate metric fixture: a malformed name
+        // fires; the waived dual-kind recording of
+        // `tuner.composite_candidates` (line 8) is absent.
+        ("crates/tuner/src/candidates.rs", 9, "obs-discipline"),
         // HashMap import, HashMap in a signature, HashSet in a body; the
         // waived HashSet import (line 6) and the #[cfg(test)] HashMap
         // (line 28) are absent.

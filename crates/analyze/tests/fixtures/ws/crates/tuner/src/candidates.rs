@@ -1,0 +1,10 @@
+//! Fixture composite-candidate metrics: the `tuner.composite_*` names
+//! the real tree records, with a waived dual-kind recording next to a
+//! malformed name that must still fire.
+
+pub fn record(survivors: usize, subsumed: usize) {
+    flowtune_obs::count("tuner.composite_candidates", survivors as u64);
+    // flowtune-allow(obs-discipline): fixture shows the waived dual-kind shape candidates.rs relies on
+    flowtune_obs::observe("tuner.composite_candidates", subsumed as f64);
+    flowtune_obs::count("Tuner.CompositeSubsumed", subsumed as u64);
+}

@@ -96,8 +96,12 @@ fn waiver_budget_is_pinned() {
         ("determinism", 1),
         ("golden-coverage", 3),
         ("newtype-discipline", 2),
-        ("obs-discipline", 13),
-        ("panic-hygiene", 23),
+        // +2 obs-discipline: the composite-candidate metrics in
+        // crates/tuner/src/candidates.rs fire outside the pinned smoke
+        // trace. +4 panic-hygiene: documented invariants in the
+        // composite index/query layer (tuple.rs, composite.rs, multi.rs).
+        ("obs-discipline", 15),
+        ("panic-hygiene", 27),
     ]
     .into_iter()
     .map(|(r, n)| (r.to_owned(), n))

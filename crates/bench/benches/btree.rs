@@ -53,7 +53,7 @@ fn bench_probe(c: &mut Criterion) {
         })
     });
     group.bench_function("range_1000_keys", |b| {
-        b.iter(|| tree.range(black_box(&1_000), &2_000).count())
+        b.iter(|| tree.range(black_box(1_000), 2_000).count())
     });
     group.finish();
 }

@@ -26,6 +26,7 @@
 
 pub mod compare;
 pub mod micro;
+pub mod table6_composite;
 
 /// Writes the observability outputs when dropped (end of `main`).
 #[derive(Debug, Default)]

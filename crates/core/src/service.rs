@@ -793,14 +793,14 @@ pub fn build_catalog(filedb: &FileDatabase) -> IndexCatalog {
             .iter()
             .map(|p| p.rows)
             .collect();
-        let id = catalog.add(IndexSpec {
-            id: pi.id,
-            file: pi.file,
-            column: pi.column.to_owned(),
-            kind: IndexKind::BTree,
-            model: IndexCostModel::new(pi.rec_bytes(), ROW_BYTES),
-            partition_rows: rows,
-        });
+        let id = catalog.add(IndexSpec::single_column(
+            pi.id,
+            pi.file,
+            pi.column,
+            IndexKind::BTree,
+            IndexCostModel::new(pi.rec_bytes(), ROW_BYTES),
+            rows,
+        ));
         assert_eq!(id, pi.id, "catalog ids must match file-database ids");
     }
     catalog

@@ -548,17 +548,24 @@ impl<K: NodeKey> BPlusTree<K> {
         (sep, new_id)
     }
 
-    /// Locate the leaf that may contain `key` (or the first key ≥ it) and
-    /// the position within it.
-    fn seek(&self, key: &K) -> (PageId, usize) {
+    /// Locate the leaf that may contain `key` (or the first key ≥ it)
+    /// and the position within it. `None` descends to the leftmost
+    /// leaf at position 0 — the single descent path shared by point
+    /// lookups, range scans, and full traversal, so pool/memo
+    /// accounting counts every entry point identically.
+    fn seek(&self, key: Option<&K>) -> (PageId, usize) {
         let mut node = self.root;
         loop {
             match &*self.load(node) {
                 Node::Internal { keys, children } => {
-                    node = children[keys.partition_point(|k| k < key)];
+                    node = match key {
+                        Some(key) => children[keys.partition_point(|k| k < key)],
+                        None => children[0],
+                    };
                 }
                 Node::Leaf { keys, .. } => {
-                    return (node, keys.partition_point(|k| k < key));
+                    let pos = key.map_or(0, |key| keys.partition_point(|k| k < key));
+                    return (node, pos);
                 }
             }
         }
@@ -572,7 +579,7 @@ impl<K: NodeKey> BPlusTree<K> {
     /// partition is rebuilt, which is how the catalog handles updates
     /// anyway (stale partitions are dropped wholesale).
     pub fn remove(&mut self, key: &K, row: u32) -> bool {
-        let (mut leaf, _) = self.seek(key);
+        let (mut leaf, _) = self.seek(Some(key));
         loop {
             let Node::Leaf {
                 mut keys,
@@ -614,8 +621,8 @@ impl<K: NodeKey> BPlusTree<K> {
 
     /// Row ids of all entries equal to `key`, in insertion-independent
     /// (key) order.
-    pub fn get<'a>(&'a self, key: &'a K) -> impl Iterator<Item = u32> + 'a {
-        self.range(key, key).map(|(_, r)| r)
+    pub fn get<'a>(&'a self, key: &K) -> impl Iterator<Item = u32> + 'a {
+        self.range(key.clone(), key.clone()).map(|(_, r)| r)
     }
 
     /// First row id for `key`, if any.
@@ -624,8 +631,13 @@ impl<K: NodeKey> BPlusTree<K> {
     }
 
     /// Ordered iterator over all `(key, row)` with `lo ≤ key ≤ hi`.
-    pub fn range<'a>(&'a self, lo: &'a K, hi: &'a K) -> RangeIter<'a, K> {
-        let (leaf, pos) = self.seek(lo);
+    ///
+    /// Bounds are taken by value: callers probing with computed
+    /// sentinel keys (e.g. [`crate::TupleKey`] prefix bounds) hand
+    /// them to the iterator instead of keeping a borrow alive for its
+    /// whole lifetime.
+    pub fn range(&self, lo: K, hi: K) -> RangeIter<'_, K> {
+        let (leaf, pos) = self.seek(Some(&lo));
         RangeIter {
             tree: self,
             leaf: Some(self.load_leaf(leaf)),
@@ -637,19 +649,11 @@ impl<K: NodeKey> BPlusTree<K> {
 
     /// Ordered iterator over every `(key, row)` entry.
     pub fn iter(&self) -> RangeIter<'_, K> {
-        // Walk to the leftmost leaf.
-        let mut node = self.root;
-        let leaf = loop {
-            let loaded = self.load(node);
-            match &*loaded {
-                Node::Internal { children, .. } => node = children[0],
-                Node::Leaf { .. } => break loaded,
-            }
-        };
+        let (leaf, pos) = self.seek(None);
         RangeIter {
             tree: self,
-            leaf: Some(leaf),
-            pos: 0,
+            leaf: Some(self.load_leaf(leaf)),
+            pos,
             lo: None,
             hi: None,
         }
@@ -759,8 +763,8 @@ pub struct RangeIter<'a, K: NodeKey> {
     /// Decoded current leaf (always a [`Node::Leaf`]).
     leaf: Option<Rc<Node<K>>>,
     pos: usize,
-    lo: Option<&'a K>,
-    hi: Option<&'a K>,
+    lo: Option<K>,
+    hi: Option<K>,
 }
 
 impl<K: NodeKey> Iterator for RangeIter<'_, K> {
@@ -777,11 +781,11 @@ impl<K: NodeKey> Iterator for RangeIter<'_, K> {
                 // `lo` may still appear at the head of a chained
                 // leaf. Skip them (keys are globally sorted, so
                 // this terminates at the first in-range key).
-                if self.lo.is_some_and(|lo| k < lo) {
+                if self.lo.as_ref().is_some_and(|lo| k < lo) {
                     self.pos += 1;
                     continue;
                 }
-                if self.hi.is_some_and(|hi| k > hi) {
+                if self.hi.as_ref().is_some_and(|hi| k > hi) {
                     self.leaf = None;
                     return None;
                 }
@@ -843,12 +847,12 @@ mod tests {
         for k in (0..200i64).rev() {
             t.insert(k, k as u32);
         }
-        let got: Vec<i64> = t.range(&50, &59).map(|(k, _)| k).collect();
+        let got: Vec<i64> = t.range(50, 59).map(|(k, _)| k).collect();
         assert_eq!(got, (50..=59).collect::<Vec<_>>());
         // Empty range.
-        assert_eq!(t.range(&300, &400).count(), 0);
+        assert_eq!(t.range(300, 400).count(), 0);
         // Range covering everything.
-        assert_eq!(t.range(&-10, &10_000).count(), 200);
+        assert_eq!(t.range(-10, 10_000).count(), 200);
     }
 
     #[test]
@@ -1019,10 +1023,51 @@ mod tests {
             for (i, k) in keys.iter().enumerate() {
                 t.insert(*k, i as u32);
             }
-            let got = t.range(&lo, &hi).count();
+            let got = t.range(lo, hi).count();
             let expect = keys.iter().filter(|k| (lo..=hi).contains(*k)).count();
             assert_eq!(got, expect);
         }
+    }
+
+    #[test]
+    fn range_bounds_need_no_outliving_borrow() {
+        // Bounds computed in an inner scope hand ownership to the
+        // iterator — the regression the by-value API exists for.
+        let pairs: Vec<(i64, u32)> = (0..100).map(|i| (i, i as u32)).collect();
+        let t = BPlusTree::bulk_build(8, &pairs);
+        let iter = {
+            let lo = 10i64 + 5;
+            let hi = lo + 20;
+            t.range(lo, hi)
+        };
+        assert_eq!(iter.count(), 21);
+    }
+
+    #[test]
+    fn iter_count_matches_len_after_churn() {
+        // `iter` and `range` share one `seek` descent; this pins the
+        // full-traversal entry point against the tree's own length
+        // accounting after random insert/remove churn.
+        let mut rng = SimRng::seed_from_u64(0xB74);
+        let mut t = BPlusTree::new(4);
+        let mut live: Vec<(i64, u32)> = Vec::new();
+        for step in 0..2000u32 {
+            if live.is_empty() || rng.chance(0.6) {
+                let k = rng.uniform_i64(0, 50);
+                t.insert(k, step);
+                live.push((k, step));
+            } else {
+                let victim = rng.uniform_u64(0, live.len() as u64) as usize;
+                let (k, r) = live.swap_remove(victim);
+                assert!(t.remove(&k, r));
+            }
+            if step % 250 == 0 {
+                assert_eq!(t.iter().count(), t.len());
+            }
+        }
+        assert_eq!(t.iter().count(), t.len());
+        assert_eq!(t.len(), live.len());
+        t.check_invariants().unwrap();
     }
 
     #[test]

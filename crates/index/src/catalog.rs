@@ -29,9 +29,11 @@ pub struct IndexSpec {
     pub id: IndexId,
     /// The file/table the index is built over.
     pub file: FileId,
-    /// Indexed column name (single-column indexes, as in the paper's
-    /// evaluation).
-    pub column: String,
+    /// Indexed column names, in key order. One entry is the paper's
+    /// single-column case; composite indexes list their components
+    /// left to right, and the leftmost-prefix rule (see
+    /// [`crate::tuple`]) decides which predicate sets they serve.
+    pub columns: Vec<String>,
     /// Physical kind.
     pub kind: IndexKind,
     /// Cost model (record sizes, fan-out, CPU constant).
@@ -42,6 +44,47 @@ pub struct IndexSpec {
 }
 
 impl IndexSpec {
+    /// Convenience constructor for the common single-column case.
+    pub fn single_column(
+        id: IndexId,
+        file: FileId,
+        column: impl Into<String>,
+        kind: IndexKind,
+        model: IndexCostModel,
+        partition_rows: Vec<u64>,
+    ) -> Self {
+        IndexSpec {
+            id,
+            file,
+            columns: vec![column.into()],
+            kind,
+            model,
+            partition_rows,
+        }
+    }
+
+    /// Human-readable column list, e.g. `quantity+shipdate`.
+    pub fn display_columns(&self) -> String {
+        self.columns.join("+")
+    }
+
+    /// True when the index keys more than one column.
+    pub fn is_composite(&self) -> bool {
+        self.columns.len() > 1
+    }
+
+    /// Leftmost-prefix subsumption: true when this index's column list
+    /// is a strict leftmost prefix of `other`'s over the same file and
+    /// kind. Every probe this index can serve, `other` serves too (at
+    /// the same asymptotic cost), so a catalog holding `other` should
+    /// never also build `self`.
+    pub fn is_prefix_of(&self, other: &IndexSpec) -> bool {
+        self.file == other.file
+            && self.kind == other.kind
+            && self.columns.len() < other.columns.len()
+            && other.columns.starts_with(&self.columns)
+    }
+
     /// Number of partitions.
     pub fn partition_count(&self) -> usize {
         self.partition_rows.len()
@@ -289,14 +332,45 @@ mod tests {
     use super::*;
 
     fn spec(file: u32, parts: usize) -> IndexSpec {
+        IndexSpec::single_column(
+            IndexId(0),
+            FileId(file),
+            "orderkey",
+            IndexKind::BTree,
+            IndexCostModel::new(12.0, 117.0),
+            vec![100_000; parts],
+        )
+    }
+
+    fn composite(file: u32, columns: &[&str], kind: IndexKind) -> IndexSpec {
         IndexSpec {
             id: IndexId(0),
             file: FileId(file),
-            column: "orderkey".into(),
-            kind: IndexKind::BTree,
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            kind,
             model: IndexCostModel::new(12.0, 117.0),
-            partition_rows: vec![100_000; parts],
+            partition_rows: vec![100_000; 2],
         }
+    }
+
+    #[test]
+    fn leftmost_prefix_subsumption() {
+        let a = composite(0, &["quantity"], IndexKind::BTree);
+        let ab = composite(0, &["quantity", "shipdate"], IndexKind::BTree);
+        let abc = composite(0, &["quantity", "linenumber", "shipdate"], IndexKind::BTree);
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&abc));
+        assert!(!ab.is_prefix_of(&abc), "(a,b) is not a prefix of (a,c,b)");
+        assert!(!ab.is_prefix_of(&a), "subsumption is not symmetric");
+        assert!(
+            !a.is_prefix_of(&a),
+            "strict: an index does not subsume itself"
+        );
+        // Different file or kind: no subsumption.
+        assert!(!a.is_prefix_of(&composite(1, &["quantity", "shipdate"], IndexKind::BTree)));
+        assert!(!a.is_prefix_of(&composite(0, &["quantity", "shipdate"], IndexKind::Hash)));
+        assert_eq!(abc.display_columns(), "quantity+linenumber+shipdate");
+        assert!(abc.is_composite() && !a.is_composite());
     }
 
     #[test]

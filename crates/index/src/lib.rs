@@ -17,6 +17,7 @@ pub mod hash;
 pub mod measured;
 pub mod model;
 pub mod store;
+pub mod tuple;
 
 pub use bptree::{BPlusTree, NodeKey};
 pub use catalog::{IndexCatalog, IndexKind, IndexSpec, IndexState};
@@ -24,3 +25,4 @@ pub use hash::HashIndex;
 pub use measured::measure_io;
 pub use model::{IndexCostModel, MeasuredIo};
 pub use store::{IndexPageStore, PartitionVerdict};
+pub use tuple::{KeyPart, TupleKey, MAX_TUPLE_ARITY};

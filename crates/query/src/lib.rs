@@ -17,13 +17,27 @@
 //! | Grouping     | sort-based grouping        | B+Tree ordered grouping       |
 //! | Join         | nested loops / sort-merge  | merge join over two B+Trees   |
 
+//!
+//! Multi-predicate queries ride on composite indexes: `composite`
+//! plans them (leftmost-prefix rule, covering detection), `multi`
+//! executes them with deterministic touched-row accounting.
+
+pub mod composite;
 pub mod group;
 pub mod join;
 pub mod lookup;
+pub mod multi;
 pub mod plan;
 pub mod sort;
 pub mod table6;
 pub mod timer;
 
+pub use composite::{
+    choose_composite, prefix_match, ColPredicate, CompositePlan, CompositeStats, IndexDef,
+    QuerySpec,
+};
+pub use multi::{
+    build_composite, composite_select, scan_multi, ExecCounts, ExecResult, MultiTable,
+};
 pub use plan::{choose, what_if_speedup, AccessPath, AvailableIndexes, Predicate, TableStats};
 pub use table6::{measure_table6, SpeedupRow};

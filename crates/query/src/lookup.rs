@@ -36,7 +36,7 @@ pub fn hash_eq(index: &HashIndex<i64>, key: i64) -> Vec<u32> {
 
 /// B+Tree range select: row ids with `lo <= key <= hi`, in key order.
 pub fn btree_range(index: &BPlusTree<i64>, lo: i64, hi: i64) -> Vec<u32> {
-    index.range(&lo, &hi).map(|(_, r)| r).collect()
+    index.range(lo, hi).map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

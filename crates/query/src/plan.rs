@@ -11,7 +11,12 @@
 use std::fmt;
 
 /// The predicate of a single-column query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash`/`Ord` are total (fields are `i64`): observed predicate
+/// sets dedupe through ordered collections before candidate
+/// generation, so a repeated predicate cannot inflate a composite
+/// candidate's modelled gain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Predicate {
     /// `col = key`.
     Equals(i64),

@@ -56,14 +56,14 @@ mod tests {
         let mut catalog = IndexCatalog::new();
         for pi in db.potential_indexes() {
             let rows: Vec<u64> = db.file(pi.file).partitions.iter().map(|p| p.rows).collect();
-            catalog.add(IndexSpec {
-                id: pi.id,
-                file: pi.file,
-                column: pi.column.to_owned(),
-                kind: IndexKind::BTree,
-                model: IndexCostModel::new(pi.rec_bytes(), flowtune_dataflow::filedb::ROW_BYTES),
-                partition_rows: rows,
-            });
+            catalog.add(IndexSpec::single_column(
+                pi.id,
+                pi.file,
+                pi.column,
+                IndexKind::BTree,
+                IndexCostModel::new(pi.rec_bytes(), flowtune_dataflow::filedb::ROW_BYTES),
+                rows,
+            ));
         }
         let mut factory = DataflowFactory::new(db, 100, rng);
         let df = factory.make(DataflowId(0), App::Montage, SimTime::ZERO);

@@ -22,6 +22,7 @@
 //! time, build cost and storage cost over the window.
 
 pub mod adaptive;
+pub mod candidates;
 pub mod estimate;
 pub mod gain;
 pub mod history;
@@ -29,6 +30,9 @@ pub mod rank;
 pub mod tuning;
 
 pub use adaptive::AdaptiveFading;
+pub use candidates::{
+    candidate_saving, composite_candidates, esr_columns, CompositeCandidate, ObservedQuery,
+};
 pub use estimate::dataflow_index_gains;
 pub use gain::{GainModel, IndexGains};
 pub use history::{History, HistoryEntry};

@@ -161,14 +161,14 @@ mod tests {
     fn small_catalog(n: usize) -> IndexCatalog {
         let mut cat = IndexCatalog::new();
         for i in 0..n {
-            cat.add(IndexSpec {
-                id: IndexId(0),
-                file: FileId(i as u32),
-                column: "orderkey".into(),
-                kind: IndexKind::BTree,
-                model: IndexCostModel::new(12.0, 117.0),
-                partition_rows: vec![200_000; 2],
-            });
+            cat.add(IndexSpec::single_column(
+                IndexId(0),
+                FileId(i as u32),
+                "orderkey",
+                IndexKind::BTree,
+                IndexCostModel::new(12.0, 117.0),
+                vec![200_000; 2],
+            ));
         }
         cat
     }

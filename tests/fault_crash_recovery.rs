@@ -30,6 +30,9 @@ use flowtune_core::{
 };
 use flowtune_dataflow::WorkloadKind;
 use flowtune_index::{IndexCatalog, IndexCostModel, IndexKind, IndexPageStore, IndexSpec};
+use flowtune_query::{
+    build_composite, composite_select, ColPredicate, IndexDef, MultiTable, Predicate, QuerySpec,
+};
 use flowtune_storage::{ObjectKey, StorageService};
 
 fn config(seed: u64, quanta: u64) -> ServiceConfig {
@@ -165,14 +168,14 @@ fn unmark_built_double_invalidate_is_idempotent_against_storage() {
     // return value is the gate — only the first invalidation may
     // release the billed object and the page image.
     let mut cat = IndexCatalog::new();
-    let id = cat.add(IndexSpec {
-        id: IndexId(0),
-        file: FileId(0),
-        column: "orderkey".into(),
-        kind: IndexKind::BTree,
-        model: IndexCostModel::new(12.0, 117.0),
-        partition_rows: vec![100_000; 2],
-    });
+    let id = cat.add(IndexSpec::single_column(
+        IndexId(0),
+        FileId(0),
+        "orderkey",
+        IndexKind::BTree,
+        IndexCostModel::new(12.0, 117.0),
+        vec![100_000; 2],
+    ));
     let mut storage = StorageService::new(Money::from_dollars(1e-4), SimDuration::from_secs(60));
     let mut pages = IndexPageStore::new();
 
@@ -212,4 +215,87 @@ fn unmark_built_double_invalidate_is_idempotent_against_storage() {
     assert!(cat.is_partition_built(id, 1));
     assert_eq!(storage.object_count(), 1);
     assert!(pages.has_partition(id, 1));
+}
+
+#[test]
+fn composite_partition_recovers_like_any_other() {
+    // A composite index partition is, at the page layer, just another
+    // partition image: torn writes are detected by the same
+    // verification scan, invalidated through the same `unmark_built`
+    // gate, and the rebuilt image verifies clean.
+    let mut cat = IndexCatalog::new();
+    let id = cat.add(IndexSpec {
+        id: IndexId(0),
+        file: FileId(0),
+        columns: vec!["quantity".into(), "shipdate".into()],
+        kind: IndexKind::BTree,
+        // Composite records carry both key columns: wider rec_bytes,
+        // same model shape.
+        model: IndexCostModel::new(24.0, 117.0),
+        partition_rows: vec![100_000; 2],
+    });
+    assert!(cat.spec(id).is_composite());
+    assert_eq!(cat.spec(id).display_columns(), "quantity+shipdate");
+
+    let mut storage = StorageService::new(Money::from_dollars(1e-4), SimDuration::from_secs(60));
+    let mut pages = IndexPageStore::new();
+    let bytes = cat.spec(id).partition_bytes(0);
+    let now = SimTime::from_secs(60);
+    cat.mark_built(id, 0, now, 0);
+    storage.put(ObjectKey::IndexPart(id, 0), bytes, now);
+
+    // The build lands torn; the verification scan must catch it.
+    pages.write_partition_torn(id, 0, bytes);
+    let verdict = pages.verify_partition(id, 0).expect("image exists");
+    assert!(!verdict.is_clean(), "torn composite image must not verify");
+
+    // Invalidate exactly as the service's recovery path does.
+    assert!(cat.unmark_built(id, 0));
+    assert_eq!(
+        storage.delete(&ObjectKey::IndexPart(id, 0), now),
+        Some(bytes)
+    );
+    pages.delete_partition(id, 0);
+    assert!(!cat.is_partition_built(id, 0));
+
+    // Rebuild: clean image, clean verdict, catalog current again.
+    let later = SimTime::from_secs(120);
+    cat.mark_built(id, 0, later, 0);
+    storage.put(ObjectKey::IndexPart(id, 0), bytes, later);
+    pages.write_partition(id, 0, bytes);
+    assert!(pages
+        .verify_partition(id, 0)
+        .expect("image exists")
+        .is_clean());
+    assert_eq!(cat.built_bytes(id), bytes);
+
+    // And the rebuilt composite actually serves prefix probes: the
+    // in-memory tree equivalent of the partition answers a
+    // multi-predicate query identically to a scan.
+    let quantity: Vec<i64> = (0..4000).map(|i| i % 50).collect();
+    let shipdate: Vec<i64> = (0..4000).map(|i| 8035 + (i * 37) % 2558).collect();
+    let table = MultiTable::new(vec![
+        ("quantity".to_owned(), quantity),
+        ("shipdate".to_owned(), shipdate),
+    ]);
+    let def = IndexDef::btree(&["quantity", "shipdate"]);
+    let tree = build_composite(&table, &def.columns, 64);
+    tree.verify_pages().expect("rebuilt tree pages verify");
+    let q = QuerySpec::new(
+        vec![
+            ColPredicate::new("quantity", Predicate::Equals(7)),
+            ColPredicate::new("shipdate", Predicate::Between(8100, 8400)),
+        ],
+        vec![],
+    );
+    let via_index = composite_select(&tree, &def, &q, &table).expect("prefix serves the query");
+    let mut got = via_index.rows.clone();
+    got.sort_unstable();
+    let want: Vec<u32> = (0..4000u32)
+        .filter(|&r| {
+            let i = i64::from(r);
+            i % 50 == 7 && (8100..=8400).contains(&(8035 + (i * 37) % 2558))
+        })
+        .collect();
+    assert_eq!(got, want);
 }
